@@ -1,0 +1,189 @@
+// Package aapm is a reproduction of "Application-Aware Power
+// Management" (Rajamani, Hanson, Rubio, Ghiasi, Rawson — IBM Austin
+// Research Lab, IISWC 2006) as a self-contained Go library.
+//
+// The package exposes the system the paper prototypes — the
+// three-phase monitor/estimate/control methodology, the counter-based
+// power and performance models, and the PerformanceMaximizer (PM) and
+// PowerSave (PS) policies — on a deterministic simulated Pentium M 755
+// platform (p-states, PMU, sense-resistor power measurement, cache
+// hierarchy, and a synthetic SPEC CPU2000 suite).
+//
+// Quick start:
+//
+//	m, _ := aapm.NewPlatform(aapm.PlatformConfig{Seed: 1})
+//	w, _ := aapm.Workload("ammp")
+//	pm, _ := aapm.NewPerformanceMaximizer(aapm.PMConfig{LimitW: 14.5})
+//	run, _ := m.Run(w, pm)
+//	fmt.Printf("%.2fs at %.2fW average\n", run.Duration.Seconds(), run.AvgPowerW())
+//
+// The experiment entry points that regenerate every table and figure
+// of the paper's evaluation live behind NewExperiments; the runnable
+// commands are cmd/aapm-run, cmd/aapm-train and cmd/aapm-eval.
+package aapm
+
+import (
+	"aapm/internal/cluster"
+	"aapm/internal/control"
+	"aapm/internal/machine"
+	"aapm/internal/mixes"
+	"aapm/internal/model"
+	"aapm/internal/phase"
+	"aapm/internal/pstate"
+	"aapm/internal/sensor"
+	"aapm/internal/spec"
+	"aapm/internal/thermal"
+	"aapm/internal/trace"
+)
+
+// Platform is the simulated Pentium M machine workloads run on.
+type Platform = machine.Machine
+
+// PlatformConfig configures a Platform; the zero value selects the
+// paper's setup (Pentium M 755 table, NI-like measurement chain is NOT
+// implied — pass Chain: aapm.NIChain() to add realistic noise).
+type PlatformConfig = machine.Config
+
+// TickInfo is what a governor observes each 10 ms interval.
+type TickInfo = machine.TickInfo
+
+// Governor is a power-management policy driving p-state decisions.
+type Governor = machine.Governor
+
+// Run is a recorded workload execution.
+type Run = trace.Run
+
+// TraceRow is one 10 ms interval of a Run.
+type TraceRow = trace.Row
+
+// PState is one voltage/frequency operating point.
+type PState = pstate.PState
+
+// PStateTable is an ordered set of p-states.
+type PStateTable = pstate.Table
+
+// WorkloadSpec is a phase-trace workload description.
+type WorkloadSpec = phase.Workload
+
+// PhaseParams describes one workload phase.
+type PhaseParams = phase.Params
+
+// PMConfig configures a PerformanceMaximizer.
+type PMConfig = control.PMConfig
+
+// PSConfig configures a PowerSave policy.
+type PSConfig = control.PSConfig
+
+// PerformanceMaximizer is the paper's PM policy: the highest frequency
+// whose predicted power fits a runtime-adjustable limit.
+type PerformanceMaximizer = control.PerformanceMaximizer
+
+// PowerSave is the paper's PS policy: the lowest frequency whose
+// predicted performance clears a floor.
+type PowerSave = control.PowerSave
+
+// StaticClock pins one p-state (the conventional baseline).
+type StaticClock = control.StaticClock
+
+// OnDemand is a Linux-ondemand-style utilization governor baseline.
+type OnDemand = control.OnDemand
+
+// PowerModel is the per-p-state DPC power model (paper eq. 2).
+type PowerModel = model.PowerModel
+
+// PerfModel is the two-class IPC projection model (paper eq. 3).
+type PerfModel = model.PerfModel
+
+// ThermalConfig describes a package thermal path (RC model).
+type ThermalConfig = thermal.Config
+
+// ThermalGuardConfig configures a ThermalGuard policy.
+type ThermalGuardConfig = control.ThermalGuardConfig
+
+// ThermalGuard keeps die temperature under a limit by DVFS.
+type ThermalGuard = control.ThermalGuard
+
+// ThrottleSaveConfig configures a ThrottleSave policy.
+type ThrottleSaveConfig = control.ThrottleSaveConfig
+
+// ThrottleSave meets a performance floor with ACPI T-state clock
+// modulation instead of DVFS (the ablation partner of PowerSave).
+type ThrottleSave = control.ThrottleSave
+
+// NewPlatform builds a simulated platform.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) { return machine.New(cfg) }
+
+// PentiumM755 returns the paper platform's p-state table (Table II
+// voltage/frequency pairs).
+func PentiumM755() *PStateTable { return pstate.PentiumM755() }
+
+// NIChain returns a measurement chain with the simulated DAQ's gain
+// error, noise and quantization; use sensor-free PlatformConfig for
+// ideal readings.
+func NIChain() sensor.Chain { return sensor.NIDefault() }
+
+// Workload returns a synthetic SPEC CPU2000 workload by name
+// (see WorkloadNames).
+func Workload(name string) (WorkloadSpec, error) { return spec.ByName(name) }
+
+// WorkloadNames lists the 26 SPEC CPU2000 workloads in suite order.
+func WorkloadNames() []string { return spec.Names() }
+
+// NewPerformanceMaximizer builds a PM policy.
+func NewPerformanceMaximizer(cfg PMConfig) (*PerformanceMaximizer, error) {
+	return control.NewPerformanceMaximizer(cfg)
+}
+
+// NewPowerSave builds a PS policy.
+func NewPowerSave(cfg PSConfig) (*PowerSave, error) { return control.NewPowerSave(cfg) }
+
+// NewStaticClock builds a pinned-frequency baseline at p-state index i.
+func NewStaticClock(i int, label string) *StaticClock { return control.NewStaticClock(i, label) }
+
+// PaperPowerModel returns the published Table II power model.
+func PaperPowerModel() *PowerModel { return model.PaperPowerModel() }
+
+// PaperPerfModel returns eq. 3 with the published 1.21/0.81 values.
+func PaperPerfModel() PerfModel { return model.PaperPerfModel() }
+
+// PentiumMThermal returns the default package thermal path; pass its
+// address in PlatformConfig.Thermal to enable the die-temperature
+// model.
+func PentiumMThermal() ThermalConfig { return thermal.PentiumMThermal() }
+
+// NewThermalGuard builds a thermal-envelope policy.
+func NewThermalGuard(cfg ThermalGuardConfig) (*ThermalGuard, error) {
+	return control.NewThermalGuard(cfg)
+}
+
+// NewThrottleSave builds a T-state clock-modulation policy.
+func NewThrottleSave(cfg ThrottleSaveConfig) (*ThrottleSave, error) {
+	return control.NewThrottleSave(cfg)
+}
+
+// MixWorkloads returns the utilization-mix set (interactive office,
+// web serving at 50% and 90%, full-load batch) used by the
+// demand-based-switching comparison.
+func MixWorkloads() []WorkloadSpec { return mixes.All() }
+
+// ClusterNode assigns a workload to one machine in a shared-budget
+// co-simulation.
+type ClusterNode = cluster.Node
+
+// ClusterConfig describes a shared-budget co-simulation.
+type ClusterConfig = cluster.Config
+
+// ClusterResult is a co-simulation outcome.
+type ClusterResult = cluster.Result
+
+// RunCluster co-simulates several machines under one power budget; see
+// internal/cluster for the coordinator's water-filling policy.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) { return cluster.Run(cfg) }
+
+// WorkloadFromTrace inverts a recorded run into a replayable workload —
+// the record-and-replay workflow for evaluating policies offline from
+// captured traces. mlp is the assumed memory-level parallelism (pass 0
+// for the default of 2).
+func WorkloadFromTrace(name string, rows []TraceRow, table *PStateTable, mlp float64) (WorkloadSpec, error) {
+	return phase.FromTrace(name, rows, table, mlp)
+}

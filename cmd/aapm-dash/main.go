@@ -1,0 +1,28 @@
+// Command aapm-dash serves the interactive dashboard: run any suite
+// workload under any governor spec and watch the power, frequency and
+// temperature timelines in the browser.
+//
+// Usage:
+//
+//	aapm-dash [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"aapm/internal/dash"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	fmt.Printf("aapm dashboard listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, dash.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "aapm-dash:", err)
+		os.Exit(1)
+	}
+}

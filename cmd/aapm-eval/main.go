@@ -1,0 +1,84 @@
+// Command aapm-eval regenerates the paper's tables and figures — and
+// the extension studies — on the simulated platform and prints them.
+//
+// Usage:
+//
+//	aapm-eval [-seed N] [-scale N] [-repeats N] [-exp list] [-markdown] [-list]
+//
+// -exp selects a comma-separated subset by registry name (see -list);
+// the default runs everything. -markdown emits one consolidated report
+// instead of per-experiment text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aapm/internal/experiment"
+	"aapm/internal/report"
+)
+
+func main() {
+	seed := flag.Int64("seed", 7, "simulation seed")
+	scale := flag.Int("scale", 1, "divide workload lengths by N for quicker runs")
+	repeats := flag.Int("repeats", 1, "runs per configuration; median reported (paper uses 3)")
+	exps := flag.String("exp", "", "comma-separated experiment subset (default: all)")
+	markdown := flag.Bool("markdown", false, "emit a single markdown report instead of per-experiment text")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.Registry() {
+			fmt.Printf("%-18s %s\n", e.Name, e.Describe)
+		}
+		return
+	}
+
+	ctx, err := experiment.NewContext(experiment.Options{Seed: *seed, ScaleDown: *scale, Repeats: *repeats})
+	if err != nil {
+		fatal(err)
+	}
+	if *markdown {
+		if err := report.Generate(ctx, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *exps != "" {
+		for _, e := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range experiment.Registry() {
+		known[e.Name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			fatal(fmt.Errorf("unknown experiment %q (use -list)", name))
+		}
+	}
+	for _, e := range experiment.Registry() {
+		if len(want) > 0 && !want[e.Name] {
+			continue
+		}
+		res, err := e.Run(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.Name, err))
+		}
+		fmt.Printf("==== %s ====\n", e.Name)
+		if err := res.Print(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aapm-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+// Command aapm-run executes one workload under one policy on the
+// simulated platform and prints a summary, optionally dumping the full
+// 10 ms trace as CSV.
+//
+// Usage:
+//
+//	aapm-run -workload ammp -policy pm -limit 14.5
+//	aapm-run -workload swim -policy ps -floor 0.8
+//	aapm-run -workload crafty -policy static -freq 1800 -csv trace.csv
+//	aapm-run -workload-file my.json -policy ondemand
+//	aapm-run -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aapm/internal/control"
+	"aapm/internal/machine"
+	"aapm/internal/model"
+	"aapm/internal/phase"
+	"aapm/internal/sensor"
+	"aapm/internal/spec"
+)
+
+func main() {
+	workload := flag.String("workload", "ammp", "SPEC workload name")
+	workloadFile := flag.String("workload-file", "", "JSON workload definition (overrides -workload)")
+	policy := flag.String("policy", "none", "policy: none, static, pm, ps, throttle, cruise, ondemand")
+	govSpec := flag.String("gov", "", `full governor spec, e.g. "pm:limit=14.5,feedback=0.1" (overrides -policy)`)
+	limit := flag.Float64("limit", 14.5, "PM power limit in watts")
+	floor := flag.Float64("floor", 0.8, "PS performance floor (0..1]")
+	exponent := flag.Float64("exponent", model.PaperExponent, "PS eq.3 exponent")
+	freq := flag.Int("freq", 2000, "static policy frequency in MHz")
+	seed := flag.Int64("seed", 7, "simulation seed")
+	csvPath := flag.String("csv", "", "write the full 10 ms trace to this CSV file")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range spec.Names() {
+			cls, _ := spec.ClassOf(n)
+			fmt.Printf("%-10s %s\n", n, cls)
+		}
+		return
+	}
+
+	var w phase.Workload
+	var err error
+	if *workloadFile != "" {
+		f, ferr := os.Open(*workloadFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		w, err = phase.ParseWorkloadJSON(f)
+		f.Close()
+	} else {
+		w, err = spec.ByName(*workload)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	m, err := machine.New(machine.Config{Chain: sensor.NIDefault(), Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	var gov machine.Governor
+	if *govSpec != "" {
+		gov, err = control.Parse(*govSpec, m.Table())
+		if err != nil {
+			fatal(err)
+		}
+		runAndReport(m, w, gov, *csvPath)
+		return
+	}
+	switch *policy {
+	case "none":
+	case "static":
+		idx := m.Table().IndexOf(*freq)
+		if idx < 0 {
+			fatal(fmt.Errorf("no p-state with frequency %d MHz", *freq))
+		}
+		gov = control.NewStaticClock(idx, fmt.Sprintf("static%d", *freq))
+	case "pm":
+		gov, err = control.NewPerformanceMaximizer(control.PMConfig{LimitW: *limit})
+		if err != nil {
+			fatal(err)
+		}
+	case "ps":
+		gov, err = control.NewPowerSave(control.PSConfig{
+			Floor: *floor,
+			Perf:  model.PerfModel{Threshold: model.PaperDCUThreshold, Exponent: *exponent},
+		})
+		if err != nil {
+			fatal(err)
+		}
+	case "throttle":
+		gov, err = control.NewThrottleSave(control.ThrottleSaveConfig{Floor: *floor})
+		if err != nil {
+			fatal(err)
+		}
+	case "cruise":
+		gov, err = control.NewCruiseControl(control.CruiseControlConfig{Slowdown: 1 - *floor})
+		if err != nil {
+			fatal(err)
+		}
+	case "ondemand":
+		gov = &control.OnDemand{}
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	runAndReport(m, w, gov, *csvPath)
+}
+
+func runAndReport(m *machine.Machine, w phase.Workload, gov machine.Governor, csvPath string) {
+	run, err := m.Run(w, gov)
+	if err != nil {
+		fatal(err)
+	}
+	if err := run.TimelineSummary(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := run.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d rows)\n", csvPath, len(run.Rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aapm-run:", err)
+	os.Exit(1)
+}

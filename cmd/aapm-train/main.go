@@ -1,0 +1,45 @@
+// Command aapm-train regenerates the power and performance estimation
+// models from the MS-Loops microbenchmarks: it characterizes the 12
+// training configurations on the simulated memory hierarchy, runs them
+// at all eight p-states, fits the per-p-state DPC power lines (Table
+// II) by least absolute error, and grid-fits the eq. 3 performance
+// parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aapm/internal/experiment"
+)
+
+func main() {
+	seed := flag.Int64("seed", 7, "simulation seed")
+	flag.Parse()
+
+	ctx, err := experiment.NewContext(experiment.Options{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	t1, err := ctx.TableIMicrobenchmarks()
+	if err != nil {
+		fatal(err)
+	}
+	if err := t1.Print(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	t2, err := ctx.TableIIPowerModel()
+	if err != nil {
+		fatal(err)
+	}
+	if err := t2.Print(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aapm-train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package aapm_test
+
+import (
+	"fmt"
+
+	"aapm"
+)
+
+// Running a workload under the paper's PerformanceMaximizer: the
+// highest frequency whose predicted power fits the limit.
+func Example_performanceMaximizer() {
+	m, _ := aapm.NewPlatform(aapm.PlatformConfig{Seed: 1})
+	w, _ := aapm.Workload("sixtrack")
+	pm, _ := aapm.NewPerformanceMaximizer(aapm.PMConfig{LimitW: 17.5})
+	run, _ := m.Run(w, pm)
+	// sixtrack is core-bound but low-power: PM lets it keep 2 GHz.
+	fmt.Println(run.Rows[len(run.Rows)-1].FreqMHz)
+	// Output: 2000
+}
+
+// PowerSave picks the lowest frequency that keeps predicted
+// performance above the floor; deep memory-bound workloads drop far.
+func Example_powerSave() {
+	m, _ := aapm.NewPlatform(aapm.PlatformConfig{Seed: 1})
+	w, _ := aapm.Workload("swim")
+	ps, _ := aapm.NewPowerSave(aapm.PSConfig{Floor: 0.8})
+	run, _ := m.Run(w, ps)
+	fmt.Println(run.Rows[len(run.Rows)-1].FreqMHz)
+	// Output: 800
+}
+
+// The published Table II power model estimates watts from the decoded-
+// instructions-per-cycle counter.
+func ExamplePaperPowerModel() {
+	pm := aapm.PaperPowerModel()
+	i := pm.Table().IndexOf(2000)
+	fmt.Printf("%.2f W\n", pm.Estimate(i, 1.935))
+	// Output: 17.78 W
+}
+
+// Eq. 3 classifies samples by DCU stalls per instruction and projects
+// IPC across p-states.
+func ExamplePaperPerfModel() {
+	m := aapm.PaperPerfModel()
+	fmt.Println(m.MemoryBound(3.0), m.MemoryBound(0.2))
+	fmt.Printf("%.3f\n", m.ProjectIPC(0.2, 3.0, 2000, 1000))
+	// Output:
+	// true false
+	// 0.351
+}
+
+// The platform's p-state table carries the paper's voltage/frequency
+// pairs.
+func ExamplePentiumM755() {
+	t := aapm.PentiumM755()
+	fmt.Println(t.Len(), t.Min(), t.Max())
+	// Output: 8 600MHz@0.998V 2000MHz@1.340V
+}

@@ -1,0 +1,53 @@
+// Quickstart: run one SPEC workload on the simulated Pentium M under
+// the paper's PerformanceMaximizer policy and print what happened.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"aapm"
+)
+
+func main() {
+	// A platform with the paper's measurement chain (gain error, noise,
+	// quantization). Seed fixes the run exactly.
+	m, err := aapm.NewPlatform(aapm.PlatformConfig{Seed: 1, Chain: aapm.NIChain()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ammp alternates memory- and core-bound phases — the workload the
+	// paper uses for its PM and PS timelines (Figs. 5 and 8).
+	w, err := aapm.Workload("ammp")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Unconstrained 2 GHz baseline.
+	base, err := m.Run(w, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unconstrained: %6.2fs  %6.2fW avg  %7.1fJ\n",
+		base.Duration.Seconds(), base.AvgPowerW(), base.EnergyJ)
+
+	// PerformanceMaximizer with a 14.5 W power limit: the highest
+	// frequency whose predicted power fits the limit, re-decided every
+	// 10 ms from the decoded-instructions counter.
+	pm, err := aapm.NewPerformanceMaximizer(aapm.PMConfig{LimitW: 14.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := m.Run(w, pm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PM @ 14.5 W:   %6.2fs  %6.2fW avg  %7.1fJ  (%d p-state changes)\n",
+		run.Duration.Seconds(), run.AvgPowerW(), run.EnergyJ, run.Transitions)
+
+	if err := run.TimelineSummary(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Thermalwatch: keep the die under a temperature ceiling with DVFS.
+//
+// The paper's methodology (monitor -> estimate -> control) extends
+// naturally from power limits to thermal envelopes — the closed-loop
+// control its related-work section describes for Intel's Foxton. This
+// example enables the platform's RC thermal model and compares an
+// unmanaged run of the suite's hottest workload against reactive and
+// predictive thermal guards.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aapm"
+)
+
+const limitC = 75
+
+func main() {
+	tc := aapm.PentiumMThermal()
+	fmt.Printf("thermal path: ambient %.0f°C, %.1f°C/W, tau %s\n",
+		tc.AmbientC, tc.ResistanceCW, tc.TimeConstant())
+	fmt.Printf("a sustained %.1f W settles at %.1f°C — above the %d°C ceiling\n\n",
+		17.8, tc.SteadyC(17.8), limitC)
+
+	run("unmanaged 2 GHz", tc, nil)
+
+	reactive, err := aapm.NewThermalGuard(aapm.ThermalGuardConfig{
+		LimitC: limitC, Thermal: tc, Reactive: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("reactive guard", tc, reactive)
+
+	predictive, err := aapm.NewThermalGuard(aapm.ThermalGuardConfig{
+		LimitC: limitC, Thermal: tc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("predictive guard", tc, predictive)
+}
+
+func run(label string, tc aapm.ThermalConfig, gov aapm.Governor) {
+	m, err := aapm.NewPlatform(aapm.PlatformConfig{
+		Seed: 3, Chain: aapm.NIChain(), Thermal: &tc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := aapm.Workload("crafty")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := m.Run(w, gov)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxC float64
+	over := 0
+	for _, row := range r.Rows {
+		if row.TempC > maxC {
+			maxC = row.TempC
+		}
+		if row.TempC > limitC {
+			over++
+		}
+	}
+	fmt.Printf("%-18s %6.2fs  max %5.1f°C  %5.1f%% of time over %d°C\n",
+		label, r.Duration.Seconds(), maxC,
+		100*float64(over)/float64(len(r.Rows)), limitC)
+}

@@ -1,0 +1,16 @@
+package aapm
+
+import "aapm/internal/experiment"
+
+// Experiments regenerates the paper's tables and figures; see
+// internal/experiment for the per-figure entry points.
+type Experiments = experiment.Context
+
+// ExperimentOptions configures an Experiments context.
+type ExperimentOptions = experiment.Options
+
+// NewExperiments builds an experiment context that caches runs shared
+// across figures (e.g. the unconstrained 2 GHz suite baselines).
+func NewExperiments(opts ExperimentOptions) (*Experiments, error) {
+	return experiment.NewContext(opts)
+}

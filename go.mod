@@ -1,0 +1,3 @@
+module aapm
+
+go 1.22

@@ -1,0 +1,245 @@
+// Package cluster co-simulates several machines sharing one power
+// budget — the paper's first motivating deployment for PM ("(i)
+// controlling multiple components with shared power supply/cooling
+// resources", §IV-A; compare Felter et al., cited in §II, on shared
+// budgets).
+//
+// A Coordinator steps every machine's session in lockstep and
+// periodically redistributes the global budget as per-machine PM
+// limits: each epoch a node's share follows its measured appetite,
+// floored so no node starves, so slack left by memory-bound phases
+// flows to power-hungry neighbours within the same global cap.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"aapm/internal/control"
+	"aapm/internal/machine"
+	"aapm/internal/phase"
+	"aapm/internal/pstate"
+	"aapm/internal/sensor"
+	"aapm/internal/trace"
+)
+
+// Node is one machine's assignment.
+type Node struct {
+	// Name labels the node; defaults to the workload name.
+	Name     string
+	Workload phase.Workload
+}
+
+// Config describes a shared-budget co-simulation.
+type Config struct {
+	// BudgetW is the global power cap the per-node limits must sum to.
+	BudgetW float64
+	// Nodes are the participating machines.
+	Nodes []Node
+	// Seed drives each node's noise/jitter (offset per node).
+	Seed int64
+	// Chain is each node's measurement chain.
+	Chain sensor.Chain
+	// EpochTicks is the reallocation period in monitoring intervals;
+	// 0 selects 50 (500 ms at the default 10 ms period).
+	EpochTicks int
+	// FloorW is the per-node minimum allocation; 0 selects 4 W
+	// (enough for the lowest p-state under any workload).
+	FloorW float64
+	// Static disables reallocation: every node keeps BudgetW/len(Nodes)
+	// for the whole run (the naive equal split baseline).
+	Static bool
+}
+
+// Result is the co-simulation outcome.
+type Result struct {
+	// Runs holds each node's trace in Config.Nodes order.
+	Runs []*trace.Run
+	// Names mirrors Runs.
+	Names []string
+	// MachineSeconds is the sum of node completion times (lower is
+	// better for equal work).
+	MachineSeconds float64
+	// Makespan is the time until the last node finished.
+	Makespan time.Duration
+	// PeakTotalW is the highest lockstep-interval sum of measured
+	// node powers; OverFrac is the fraction of intervals where that
+	// sum exceeded the budget.
+	PeakTotalW float64
+	OverFrac   float64
+}
+
+// Run executes the co-simulation.
+func Run(cfg Config) (*Result, error) {
+	n := len(cfg.Nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	if cfg.BudgetW <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive budget")
+	}
+	floor := cfg.FloorW
+	if floor == 0 {
+		floor = 4
+	}
+	if floor*float64(n) > cfg.BudgetW {
+		return nil, fmt.Errorf("cluster: budget %.1f W cannot cover %d nodes at the %.1f W floor", cfg.BudgetW, n, floor)
+	}
+	epoch := cfg.EpochTicks
+	if epoch <= 0 {
+		epoch = 50
+	}
+
+	share := cfg.BudgetW / float64(n)
+	sessions := make([]*machine.Session, n)
+	pms := make([]*control.PerformanceMaximizer, n)
+	names := make([]string, n)
+	var table *pstate.Table
+	for i, node := range cfg.Nodes {
+		name := node.Name
+		if name == "" {
+			name = node.Workload.Name
+		}
+		names[i] = name
+		m, err := machine.New(machine.Config{
+			Chain: cfg.Chain,
+			Seed:  cfg.Seed + int64(i)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		table = m.Table()
+		// Measured-power feedback tightens each node's estimates so the
+		// coordinator can pack the budget by real consumption instead
+		// of the DPC model's conservative projections.
+		pm, err := control.NewPerformanceMaximizer(control.PMConfig{LimitW: share, FeedbackGain: 0.25})
+		if err != nil {
+			return nil, err
+		}
+		s, err := m.NewSession(node.Workload, pm)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %s: %w", name, err)
+		}
+		sessions[i] = s
+		pms[i] = pm
+	}
+
+	res := &Result{Names: names}
+	recent := make([]float64, n) // epoch-average measured power
+	recentN := make([]int, n)
+	var intervals, overIntervals int
+
+	for tick := 0; ; tick++ {
+		anyActive := false
+		var totalW float64
+		for i, s := range sessions {
+			if s.Done() {
+				continue
+			}
+			anyActive = true
+			if _, err := s.Step(); err != nil {
+				return nil, fmt.Errorf("cluster: node %s: %w", names[i], err)
+			}
+			if row, ok := s.LastRow(); ok {
+				totalW += row.MeasuredPowerW
+				recent[i] += row.MeasuredPowerW
+				recentN[i]++
+			}
+		}
+		if !anyActive {
+			break
+		}
+		intervals++
+		if totalW > res.PeakTotalW {
+			res.PeakTotalW = totalW
+		}
+		if totalW > cfg.BudgetW {
+			overIntervals++
+		}
+
+		if !cfg.Static && tick > 0 && tick%epoch == 0 {
+			reallocate(cfg.BudgetW, floor, table, sessions, pms)
+			for i := range recent {
+				recent[i], recentN[i] = 0, 0
+			}
+		}
+	}
+
+	for i, s := range sessions {
+		run := s.Result()
+		res.Runs = append(res.Runs, run)
+		res.MachineSeconds += run.Duration.Seconds()
+		if run.Duration > res.Makespan {
+			res.Makespan = run.Duration
+		}
+		_ = i
+	}
+	if intervals > 0 {
+		res.OverFrac = float64(overIntervals) / float64(intervals)
+	}
+	return res, nil
+}
+
+// reallocate water-fills the budget over the nodes' desires: each
+// active node asks for the (feedback-corrected) power it would need to
+// run the top p-state at its recent decode rate; everyone receives
+// min(desire, level) where the common level spends the whole budget.
+// Finished nodes release their share. Desires below the floor clamp up
+// so no node starves.
+func reallocate(budget, floor float64, table *pstate.Table, sessions []*machine.Session, pms []*control.PerformanceMaximizer) {
+	type nodeDemand struct {
+		i      int
+		desire float64
+	}
+	var active []nodeDemand
+	for i, s := range sessions {
+		if s.Done() {
+			continue
+		}
+		desire := floor
+		if row, ok := s.LastRow(); ok {
+			// A small margin above the node's own requirement keeps
+			// intensity jitter from tripping a tightly fitted limit.
+			desire = pms[i].BudgetDesireW(table, row.DPC) + 0.5
+		}
+		if desire < floor {
+			desire = floor
+		}
+		active = append(active, nodeDemand{i: i, desire: desire})
+	}
+	if len(active) == 0 {
+		return
+	}
+	sort.Slice(active, func(a, b int) bool { return active[a].desire < active[b].desire })
+
+	// Find the water level: satisfy the cheapest desires fully and
+	// split what remains evenly among the rest.
+	remaining := budget
+	level := 0.0
+	for k, nd := range active {
+		evenShare := remaining / float64(len(active)-k)
+		if nd.desire >= evenShare {
+			level = evenShare
+			break
+		}
+		remaining -= nd.desire
+		level = nd.desire // all remaining nodes satisfied
+	}
+	for _, nd := range active {
+		limit := nd.desire
+		if limit > level {
+			limit = level
+		}
+		if limit < floor {
+			limit = floor
+		}
+		pms[nd.i].SetLimit(limit)
+		if debugHook != nil {
+			debugHook(nd.i, nd.desire, limit)
+		}
+	}
+}
+
+// debugHook, when set by tests, receives each reallocation decision.
+var debugHook func(node int, desire, limit float64)

@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"testing"
+
+	"aapm/internal/sensor"
+	"aapm/internal/spec"
+)
+
+func TestDebugRealloc(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("debug aid; run with -v")
+	}
+	debugHook = func(node int, desire, limit float64) {
+		t.Logf("node %d desire %.2f limit %.2f", node, desire, limit)
+	}
+	defer func() { debugHook = nil }()
+	var ns []Node
+	for _, n := range []string{"swim", "mcf", "lucas", "crafty"} {
+		w, err := spec.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Iterations = max(1, w.Repeats()/6)
+		ns = append(ns, Node{Workload: w})
+	}
+	res, err := Run(Config{BudgetW: 52, Nodes: ns, Seed: 7, Chain: sensor.NIDefault()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Runs {
+		t.Logf("%s %.2fs", res.Names[i], r.Duration.Seconds())
+	}
+}

@@ -1,0 +1,315 @@
+// Package control implements the paper's power-management policies as
+// machine governors, each following the three-phase loop of §III
+// (monitor → estimate/predict → control):
+//
+//   - PerformanceMaximizer (PM, §IV-A): highest frequency whose
+//     predicted power stays under a runtime-adjustable limit, with a
+//     0.5 W guardband, immediate down-shifts and a 100 ms up-shift
+//     hysteresis.
+//   - PowerSave (PS, §IV-B): lowest frequency whose predicted
+//     performance stays above a floor relative to peak.
+//   - StaticClock: the conventional fixed-frequency baseline.
+//   - OnDemand: a Linux-ondemand-style utilization governor included
+//     as an additional related-work baseline (Demand-Based Switching).
+//
+// All policies see only TickInfo — the counters a real deployment
+// would have — never the platform's ground truth.
+package control
+
+import (
+	"fmt"
+
+	"aapm/internal/machine"
+	"aapm/internal/model"
+	"aapm/internal/pstate"
+)
+
+// StaticClock pins one p-state for the whole run — the paper's
+// "static clocking" baseline (and, at the table extremes, its
+// unconstrained-2GHz and maximum-savings-600MHz reference runs).
+type StaticClock struct {
+	Index int
+	label string
+}
+
+// NewStaticClock pins p-state index i.
+func NewStaticClock(i int, label string) *StaticClock {
+	if label == "" {
+		label = fmt.Sprintf("static[%d]", i)
+	}
+	return &StaticClock{Index: i, label: label}
+}
+
+// Name returns the policy label.
+func (s *StaticClock) Name() string { return s.label }
+
+// Tick always returns the pinned index.
+func (s *StaticClock) Tick(machine.TickInfo) int { return s.Index }
+
+// InitialIndex pins the run's starting p-state so a static run never
+// spends its first interval at the platform default.
+func (s *StaticClock) InitialIndex(int) int { return s.Index }
+
+// PMConfig parameterizes a PerformanceMaximizer.
+type PMConfig struct {
+	// Model estimates power per p-state from DPC; nil selects the
+	// published Table II model.
+	Model *model.PowerModel
+	// LimitW is the initial power limit.
+	LimitW float64
+	// GuardbandW is added to estimates before the limit comparison.
+	// The zero value selects the paper's 0.5 W; pass a negative value
+	// to disable the guardband entirely (ablation use).
+	GuardbandW float64
+	// RaiseTicks is the number of consecutive raise-indicating samples
+	// required before shifting up; 0 selects the paper's 10 (100 ms of
+	// 10 ms samples).
+	RaiseTicks int
+	// FeedbackGain, when positive, enables the measured-power feedback
+	// extension the paper sketches as future work: a multiplicative
+	// correction factor tracks measured/estimated power with this EMA
+	// gain and scales subsequent estimates.
+	FeedbackGain float64
+	// DisableDPCProjection skips the paper's eq. 4 projection and
+	// evaluates every candidate p-state at the observed decode rate.
+	// Ablation use only: without the conservative down-projection the
+	// power estimate for lower frequencies is too optimistic for
+	// memory-bound work.
+	DisableDPCProjection bool
+}
+
+// DefaultGuardbandW is the paper's 0.5 W estimation guardband.
+const DefaultGuardbandW = 0.5
+
+// DefaultRaiseTicks is the paper's 100 ms of consecutive 10 ms samples.
+const DefaultRaiseTicks = 10
+
+// PerformanceMaximizer implements the PM policy.
+type PerformanceMaximizer struct {
+	cfg       PMConfig
+	limitW    float64
+	pendingUp int
+	// corr is the feedback correction factor (1 = trust the model).
+	corr float64
+}
+
+// NewPerformanceMaximizer builds a PM with the given configuration.
+func NewPerformanceMaximizer(cfg PMConfig) (*PerformanceMaximizer, error) {
+	if cfg.Model == nil {
+		cfg.Model = model.PaperPowerModel()
+	}
+	if cfg.LimitW <= 0 {
+		return nil, fmt.Errorf("control: PM needs a positive power limit, got %g", cfg.LimitW)
+	}
+	switch {
+	case cfg.GuardbandW == 0:
+		cfg.GuardbandW = DefaultGuardbandW
+	case cfg.GuardbandW < 0:
+		cfg.GuardbandW = 0
+	}
+	if cfg.RaiseTicks <= 0 {
+		cfg.RaiseTicks = DefaultRaiseTicks
+	}
+	if cfg.FeedbackGain < 0 || cfg.FeedbackGain > 1 {
+		return nil, fmt.Errorf("control: PM feedback gain %g outside [0,1]", cfg.FeedbackGain)
+	}
+	return &PerformanceMaximizer{cfg: cfg, limitW: cfg.LimitW, corr: 1}, nil
+}
+
+// Name identifies the policy in traces.
+func (pm *PerformanceMaximizer) Name() string {
+	if pm.cfg.FeedbackGain > 0 {
+		return fmt.Sprintf("PM+fb(%.1fW)", pm.limitW)
+	}
+	return fmt.Sprintf("PM(%.1fW)", pm.limitW)
+}
+
+// SetLimit changes the power limit, effective at the next tick — the
+// simulation analogue of the SIGUSR1/SIGUSR2 runtime limit changes the
+// prototype accepts.
+func (pm *PerformanceMaximizer) SetLimit(w float64) {
+	pm.limitW = w
+	pm.pendingUp = 0
+}
+
+// BypassHysteresis arms the next tick to raise immediately if its
+// estimate permits, instead of waiting out the full RaiseTicks streak.
+// Phase-aware wrappers call it when the workload demonstrably switched
+// regimes, making the conservative streak requirement moot.
+func (pm *PerformanceMaximizer) BypassHysteresis() {
+	pm.pendingUp = pm.cfg.RaiseTicks - 1
+}
+
+// Limit returns the active power limit.
+func (pm *PerformanceMaximizer) Limit() float64 { return pm.limitW }
+
+// Tick chooses the highest p-state whose corrected power estimate,
+// plus guardband, fits the limit. Down-shifts apply immediately;
+// up-shifts wait for RaiseTicks consecutive supporting samples.
+func (pm *PerformanceMaximizer) Tick(info machine.TickInfo) int {
+	dpc := info.Sample.DPC()
+	if pm.cfg.FeedbackGain > 0 {
+		est := pm.corr * pm.cfg.Model.Estimate(info.PStateIndex, dpc)
+		if est > 0 && info.MeasuredPowerW > 0 {
+			g := pm.cfg.FeedbackGain
+			pm.corr *= 1 + g*(info.MeasuredPowerW/est-1)
+			if pm.corr < 0.5 {
+				pm.corr = 0.5
+			}
+			if pm.corr > 2 {
+				pm.corr = 2
+			}
+		}
+	}
+	want := 0
+	for i := info.Table.Len() - 1; i >= 0; i-- {
+		var est float64
+		if pm.cfg.DisableDPCProjection {
+			est = pm.cfg.Model.Estimate(i, dpc)
+		} else {
+			est = pm.cfg.Model.EstimateAt(i, dpc, info.PState.FreqMHz)
+		}
+		est = pm.corr*est + pm.cfg.GuardbandW
+		if est <= pm.limitW {
+			want = i
+			break
+		}
+	}
+	switch {
+	case want < info.PStateIndex:
+		pm.pendingUp = 0
+		return want
+	case want > info.PStateIndex:
+		pm.pendingUp++
+		if pm.pendingUp >= pm.cfg.RaiseTicks {
+			pm.pendingUp = 0
+			return want
+		}
+		return info.PStateIndex
+	default:
+		pm.pendingUp = 0
+		return info.PStateIndex
+	}
+}
+
+// BudgetDesireW returns the power limit this PM would need to run the
+// platform's top p-state for the given recent decode rate, including
+// its guardband and (when feedback is enabled) the learned measurement
+// correction. Budget coordinators use it as a node's demand signal.
+func (pm *PerformanceMaximizer) BudgetDesireW(table *pstate.Table, dpc float64) float64 {
+	top := table.Len() - 1
+	return pm.corr*pm.cfg.Model.Estimate(top, dpc) + pm.cfg.GuardbandW
+}
+
+// PSConfig parameterizes a PowerSave policy.
+type PSConfig struct {
+	// Perf is the IPC projection model; the zero value selects the
+	// published eq. 3 parameters (threshold 1.21, exponent 0.81).
+	Perf model.PerfModel
+	// Floor is the minimum acceptable performance relative to peak
+	// (e.g. 0.8 allows a 20% slowdown).
+	Floor float64
+}
+
+// PowerSave implements the PS policy: run as slow as the performance
+// floor permits, even at full load.
+type PowerSave struct {
+	cfg PSConfig
+}
+
+// NewPowerSave builds a PS with the given configuration.
+func NewPowerSave(cfg PSConfig) (*PowerSave, error) {
+	if cfg.Perf == (model.PerfModel{}) {
+		cfg.Perf = model.PaperPerfModel()
+	}
+	if err := cfg.Perf.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Floor <= 0 || cfg.Floor > 1 {
+		return nil, fmt.Errorf("control: PS floor %g outside (0,1]", cfg.Floor)
+	}
+	return &PowerSave{cfg: cfg}, nil
+}
+
+// Name identifies the policy in traces.
+func (ps *PowerSave) Name() string {
+	return fmt.Sprintf("PS(%.0f%%,e=%.2f)", ps.cfg.Floor*100, ps.cfg.Perf.Exponent)
+}
+
+// Floor returns the configured performance floor.
+func (ps *PowerSave) Floor() float64 { return ps.cfg.Floor }
+
+// Tick predicts throughput (IPC*f) at every p-state from the current
+// sample and picks the lowest frequency whose predicted performance
+// clears Floor x the predicted peak performance.
+func (ps *PowerSave) Tick(info machine.TickInfo) int {
+	ipc := info.Sample.IPC()
+	if ipc == 0 {
+		// Idle interval: any frequency meets the floor; save maximally.
+		return 0
+	}
+	dcu := info.Sample.DCUPerInst()
+	from := info.PState.FreqMHz
+	maxIdx := info.Table.Len() - 1
+	peak := ps.cfg.Perf.ProjectPerf(ipc, dcu, from, info.Table.At(maxIdx).FreqMHz)
+	if peak <= 0 {
+		return info.PStateIndex
+	}
+	// The relative tolerance keeps exact-boundary states (e.g. 1600 MHz
+	// for an 80% floor on a 2000 MHz part) on the feasible side of
+	// floating-point rounding.
+	need := ps.cfg.Floor * peak * (1 - 1e-9)
+	for i := 0; i <= maxIdx; i++ {
+		if ps.cfg.Perf.ProjectPerf(ipc, dcu, from, info.Table.At(i).FreqMHz) >= need {
+			return i
+		}
+	}
+	return maxIdx
+}
+
+// OnDemand approximates the Linux ondemand governor: jump to maximum
+// frequency when utilization exceeds the up-threshold, otherwise pick
+// the lowest frequency that keeps utilization at the threshold. With
+// the paper's fully loaded SPEC workloads it pins the maximum state —
+// exactly the "saving energy only during low utilization is
+// insufficient" behaviour PS improves on.
+type OnDemand struct {
+	// UpThreshold is the utilization that triggers max frequency;
+	// 0 selects the classic 0.8.
+	UpThreshold float64
+}
+
+// Name identifies the policy in traces.
+func (o *OnDemand) Name() string { return "ondemand" }
+
+func (o *OnDemand) threshold() float64 {
+	if o.UpThreshold <= 0 || o.UpThreshold > 1 {
+		return 0.8
+	}
+	return o.UpThreshold
+}
+
+// Tick computes utilization as busy cycles over interval capacity.
+func (o *OnDemand) Tick(info machine.TickInfo) int {
+	capacity := info.PState.FreqHz() * info.Interval.Seconds()
+	if capacity <= 0 {
+		return info.PStateIndex
+	}
+	util := info.Sample.Cycles() / capacity
+	if util > 1 {
+		util = 1
+	}
+	th := o.threshold()
+	if util >= th {
+		return info.Table.Len() - 1
+	}
+	// Choose the lowest frequency that would run at ~threshold
+	// utilization for the same busy-cycle demand.
+	demand := util * float64(info.PState.FreqMHz)
+	for i := 0; i < info.Table.Len(); i++ {
+		if float64(info.Table.At(i).FreqMHz)*th >= demand {
+			return i
+		}
+	}
+	return info.Table.Len() - 1
+}

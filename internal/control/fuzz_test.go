@@ -1,0 +1,78 @@
+package control
+
+import (
+	"testing"
+
+	"aapm/internal/counters"
+	"aapm/internal/machine"
+	"aapm/internal/pstate"
+)
+
+// FuzzGovernorDecisions drives every stateless-constructible governor
+// with arbitrary counter samples and checks the invariant a machine
+// relies on: decisions are always valid p-state indices.
+func FuzzGovernorDecisions(f *testing.F) {
+	f.Add(uint64(20_000_000), uint64(24_000_000), uint64(20_000_000), uint64(5_000_000), uint8(7), 13.5)
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint8(0), 10.5)
+	f.Add(uint64(1), uint64(1<<62), uint64(1<<62), uint64(1<<62), uint8(3), 17.5)
+	tab := pstate.PentiumM755()
+	f.Fuzz(func(t *testing.T, cycles, decoded, retired, dcu uint64, idx8 uint8, meas float64) {
+		var s counters.Sample
+		s.SetCount(counters.Cycles, cycles)
+		s.SetCount(counters.InstDecoded, decoded)
+		s.SetCount(counters.InstRetired, retired)
+		s.SetCount(counters.DCUMissOutstanding, dcu)
+		idx := int(idx8) % tab.Len()
+		info := machine.TickInfo{
+			Sample:         s,
+			PState:         tab.At(idx),
+			PStateIndex:    idx,
+			Table:          tab,
+			MeasuredPowerW: meas,
+		}
+		pm, err := NewPerformanceMaximizer(PMConfig{LimitW: 13.5, FeedbackGain: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := NewPowerSave(PSConfig{Floor: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := NewCruiseControl(CruiseControlConfig{Slowdown: 0.15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		govs := []machine.Governor{pm, ps, cc, &OnDemand{}, NewStaticClock(idx, "")}
+		for _, g := range govs {
+			for k := 0; k < 3; k++ { // stateful governors see it repeatedly
+				got := g.Tick(info)
+				if got < 0 || got >= tab.Len() {
+					t.Fatalf("%s returned out-of-range index %d", g.Name(), got)
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseGovernorSpec checks the spec parser never panics and every
+// accepted spec yields a usable governor.
+func FuzzParseGovernorSpec(f *testing.F) {
+	for _, s := range []string{
+		"pm:limit=14.5", "ps:floor=0.8,exponent=0.59", "static:freq=1800",
+		"ondemand", "thermal:limit=75,reactive", "cruise:slowdown=0.1",
+		"none", "pm:limit=", "x:y=z", "pm:limit=1e309",
+	} {
+		f.Add(s)
+	}
+	tab := pstate.PentiumM755()
+	f.Fuzz(func(t *testing.T, spec string) {
+		g, err := Parse(spec, tab)
+		if err != nil || g == nil {
+			return
+		}
+		info := tick(2000, 1.2, 1.0, 0.5, 12)
+		if got := g.Tick(info); got < 0 || got >= tab.Len() {
+			t.Fatalf("Parse(%q) governor returned index %d", spec, got)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package control
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"aapm/internal/machine"
+	"aapm/internal/model"
+	"aapm/internal/pstate"
+	"aapm/internal/thermal"
+)
+
+// Parse builds a governor from a cpufreq-style specification string:
+//
+//	"none"                           pinned at the platform start state
+//	"static:freq=1800"               fixed frequency
+//	"pm:limit=14.5[,guardband=0.5][,feedback=0.1]"
+//	"ps:floor=0.8[,exponent=0.59]"
+//	"throttle:floor=0.75"
+//	"cruise:slowdown=0.1"
+//	"ondemand[:up=0.8]"
+//	"thermal:limit=75[,reactive]"
+//
+// The table is needed to resolve frequencies to p-state indices.
+// "none" returns a nil governor.
+func Parse(spec string, table *pstate.Table) (machine.Governor, error) {
+	name, args := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, args = spec[:i], spec[i+1:]
+	}
+	kv, err := parseArgs(args)
+	if err != nil {
+		return nil, fmt.Errorf("control: %q: %w", spec, err)
+	}
+	get := func(key string, def float64) (float64, error) {
+		s, ok := kv[key]
+		if !ok {
+			return def, nil
+		}
+		delete(kv, key)
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("control: %q: bad %s: %w", spec, key, err)
+		}
+		return v, nil
+	}
+	has := func(key string) bool {
+		_, ok := kv[key]
+		delete(kv, key)
+		return ok
+	}
+	leftover := func() error {
+		for k := range kv {
+			return fmt.Errorf("control: %q: unknown option %q", spec, k)
+		}
+		return nil
+	}
+
+	var gov machine.Governor
+	switch name {
+	case "none":
+		gov = nil
+	case "static":
+		freq, err := get("freq", 0)
+		if err != nil {
+			return nil, err
+		}
+		idx := table.IndexOf(int(freq))
+		if idx < 0 {
+			return nil, fmt.Errorf("control: %q: no p-state at %g MHz", spec, freq)
+		}
+		gov = NewStaticClock(idx, fmt.Sprintf("static%d", int(freq)))
+	case "pm":
+		limit, err := get("limit", 0)
+		if err != nil {
+			return nil, err
+		}
+		gb, err := get("guardband", 0)
+		if err != nil {
+			return nil, err
+		}
+		fb, err := get("feedback", 0)
+		if err != nil {
+			return nil, err
+		}
+		gov, err = NewPerformanceMaximizer(PMConfig{LimitW: limit, GuardbandW: gb, FeedbackGain: fb})
+		if err != nil {
+			return nil, err
+		}
+	case "ps":
+		floor, err := get("floor", 0)
+		if err != nil {
+			return nil, err
+		}
+		exp, err := get("exponent", model.PaperExponent)
+		if err != nil {
+			return nil, err
+		}
+		gov, err = NewPowerSave(PSConfig{
+			Floor: floor,
+			Perf:  model.PerfModel{Threshold: model.PaperDCUThreshold, Exponent: exp},
+		})
+		if err != nil {
+			return nil, err
+		}
+	case "throttle":
+		floor, err := get("floor", 0)
+		if err != nil {
+			return nil, err
+		}
+		gov, err = NewThrottleSave(ThrottleSaveConfig{Floor: floor})
+		if err != nil {
+			return nil, err
+		}
+	case "cruise":
+		sd, err := get("slowdown", 0)
+		if err != nil {
+			return nil, err
+		}
+		gov, err = NewCruiseControl(CruiseControlConfig{Slowdown: sd})
+		if err != nil {
+			return nil, err
+		}
+	case "ondemand":
+		up, err := get("up", 0)
+		if err != nil {
+			return nil, err
+		}
+		gov = &OnDemand{UpThreshold: up}
+	case "thermal":
+		limit, err := get("limit", 0)
+		if err != nil {
+			return nil, err
+		}
+		reactive := has("reactive")
+		var terr error
+		gov, terr = NewThermalGuard(ThermalGuardConfig{
+			LimitC:   limit,
+			Thermal:  thermal.PentiumMThermal(),
+			Reactive: reactive,
+		})
+		if terr != nil {
+			return nil, terr
+		}
+	default:
+		return nil, fmt.Errorf("control: unknown governor %q (none, static, pm, ps, throttle, cruise, ondemand, thermal)", name)
+	}
+	if err := leftover(); err != nil {
+		return nil, err
+	}
+	return gov, nil
+}
+
+func parseArgs(args string) (map[string]string, error) {
+	kv := map[string]string{}
+	if args == "" {
+		return kv, nil
+	}
+	for _, part := range strings.Split(args, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty option")
+		}
+		k, v, found := strings.Cut(part, "=")
+		if k == "" {
+			return nil, fmt.Errorf("malformed option %q", part)
+		}
+		if !found {
+			v = "" // boolean flag, e.g. "reactive"
+		}
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("duplicate option %q", k)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}

@@ -1,0 +1,69 @@
+package control
+
+import (
+	"testing"
+
+	"aapm/internal/pstate"
+)
+
+func TestParseGovernors(t *testing.T) {
+	tab := pstate.PentiumM755()
+	cases := []struct {
+		spec string
+		name string
+	}{
+		{"static:freq=1800", "static1800"},
+		{"pm:limit=14.5", "PM(14.5W)"},
+		{"pm:limit=14.5,guardband=1.0,feedback=0.1", "PM+fb(14.5W)"},
+		{"ps:floor=0.8", "PS(80%,e=0.81)"},
+		{"ps:floor=0.8,exponent=0.59", "PS(80%,e=0.59)"},
+		{"throttle:floor=0.75", "Throttle(75%)"},
+		{"cruise:slowdown=0.1", "cruise(10%)"},
+		{"ondemand", "ondemand"},
+		{"ondemand:up=0.9", "ondemand"},
+		{"thermal:limit=75", "TG-pred(75C)"},
+		{"thermal:limit=75,reactive", "TG-react(75C)"},
+	}
+	for _, c := range cases {
+		t.Run(c.spec, func(t *testing.T) {
+			g, err := Parse(c.spec, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Name() != c.name {
+				t.Errorf("Parse(%q).Name() = %q, want %q", c.spec, g.Name(), c.name)
+			}
+		})
+	}
+}
+
+func TestParseNone(t *testing.T) {
+	g, err := Parse("none", pstate.PentiumM755())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != nil {
+		t.Errorf("Parse(none) = %v, want nil governor", g)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tab := pstate.PentiumM755()
+	for _, spec := range []string{
+		"bogus",
+		"static:freq=1700",
+		"static",
+		"pm",
+		"pm:limit=abc",
+		"pm:limit=14.5,bogus=1",
+		"ps:floor=2",
+		"ps:floor=0.8,floor=0.7",
+		"cruise:slowdown=0",
+		"pm:limit=14.5,,",
+		"pm:=x",
+	} {
+		if _, err := Parse(spec, tab); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package counters models the performance monitoring unit (PMU) of the
+// simulated Pentium M platform.
+//
+// The real Pentium M exposes two programmable counters selecting among
+// 92 events; the paper's driver samples them every 10 ms. This package
+// keeps the full event set the paper's analysis uses and exposes
+// per-interval rate snapshots. Controllers are expected to consume only
+// the events a real deployment would program (PM: decoded instructions;
+// PS: retired instructions and DCU miss outstanding cycles).
+package counters
+
+import "fmt"
+
+// Event identifies a PMU event the simulated platform accumulates.
+type Event int
+
+// Events used by the paper's models and workload characterization.
+const (
+	// Cycles counts elapsed core clock cycles.
+	Cycles Event = iota
+	// InstDecoded counts decoded instructions, including speculative
+	// work on wrong paths (the power model's activity proxy).
+	InstDecoded
+	// InstRetired counts architecturally completed instructions
+	// (the performance model's throughput proxy).
+	InstRetired
+	// DCUMissOutstanding counts cycles in which the L1 data cache has
+	// at least one miss outstanding.
+	DCUMissOutstanding
+	// L2Requests counts L2 cache accesses (L1 misses plus prefetches).
+	L2Requests
+	// MemRequests counts bus (DRAM) accesses, i.e. L2 misses.
+	MemRequests
+	// ResourceStalls counts cycles the allocator is stalled for
+	// machine resources.
+	ResourceStalls
+
+	numEvents
+)
+
+// NumEvents is the number of distinct events a Bank accumulates.
+const NumEvents = int(numEvents)
+
+var eventNames = [...]string{
+	Cycles:             "cycles",
+	InstDecoded:        "inst_decoded",
+	InstRetired:        "inst_retired",
+	DCUMissOutstanding: "dcu_miss_outstanding",
+	L2Requests:         "l2_requests",
+	MemRequests:        "mem_requests",
+	ResourceStalls:     "resource_stalls",
+}
+
+// String returns the event's canonical lowercase name.
+func (e Event) String() string {
+	if e < 0 || int(e) >= NumEvents {
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+	return eventNames[e]
+}
+
+// Bank accumulates event counts. It is the simulated analogue of the
+// PMU MSRs: monotonically increasing 64-bit counters.
+type Bank struct {
+	counts [numEvents]uint64
+}
+
+// Add increments event e by n.
+func (b *Bank) Add(e Event, n uint64) { b.counts[e] += n }
+
+// Read returns the running total for event e.
+func (b *Bank) Read(e Event) uint64 { return b.counts[e] }
+
+// Snapshot captures all counters at one instant.
+func (b *Bank) Snapshot() Snapshot {
+	var s Snapshot
+	copy(s.counts[:], b.counts[:])
+	return s
+}
+
+// Reset zeroes every counter.
+func (b *Bank) Reset() { b.counts = [numEvents]uint64{} }
+
+// Snapshot is a point-in-time copy of all counters.
+type Snapshot struct {
+	counts [numEvents]uint64
+}
+
+// Read returns the snapshot value for event e.
+func (s Snapshot) Read(e Event) uint64 { return s.counts[e] }
+
+// Delta returns the per-event difference now - prev as a Sample.
+// Counters are monotonic, so a negative delta indicates misuse and
+// saturates to zero rather than wrapping.
+func Delta(prev, now Snapshot) Sample {
+	var d Sample
+	for i := range d.counts {
+		if now.counts[i] >= prev.counts[i] {
+			d.counts[i] = now.counts[i] - prev.counts[i]
+		}
+	}
+	return d
+}
+
+// Sample is the event activity within one monitoring interval.
+type Sample struct {
+	counts [numEvents]uint64
+}
+
+// Count returns the interval count for event e.
+func (s Sample) Count(e Event) uint64 { return s.counts[e] }
+
+// SetCount sets the interval count for event e (used by the platform
+// when synthesizing interval activity).
+func (s *Sample) SetCount(e Event, n uint64) { s.counts[e] = n }
+
+// Cycles returns the interval's elapsed core cycles.
+func (s Sample) Cycles() float64 { return float64(s.counts[Cycles]) }
+
+// rate returns count/cycles, or 0 for an empty interval.
+func (s Sample) rate(e Event) float64 {
+	c := s.counts[Cycles]
+	if c == 0 {
+		return 0
+	}
+	return float64(s.counts[e]) / float64(c)
+}
+
+// DPC returns decoded instructions per cycle, the power model input.
+func (s Sample) DPC() float64 { return s.rate(InstDecoded) }
+
+// IPC returns retired instructions per cycle, the performance proxy.
+func (s Sample) IPC() float64 { return s.rate(InstRetired) }
+
+// DCU returns DCU-miss-outstanding cycles per cycle (0..1).
+func (s Sample) DCU() float64 { return s.rate(DCUMissOutstanding) }
+
+// L2PC returns L2 requests per cycle.
+func (s Sample) L2PC() float64 { return s.rate(L2Requests) }
+
+// MemPC returns memory (bus) requests per cycle.
+func (s Sample) MemPC() float64 { return s.rate(MemRequests) }
+
+// StallPC returns resource-stall cycles per cycle.
+func (s Sample) StallPC() float64 { return s.rate(ResourceStalls) }
+
+// DCUPerInst returns DCU miss outstanding cycles per retired
+// instruction — the paper's memory-boundedness measure (DCU/IPC).
+// It returns 0 when no instructions retired in the interval.
+func (s Sample) DCUPerInst() float64 {
+	r := s.counts[InstRetired]
+	if r == 0 {
+		return 0
+	}
+	return float64(s.counts[DCUMissOutstanding]) / float64(r)
+}
+
+// Accumulate adds the interval activity of other into s.
+func (s *Sample) Accumulate(other Sample) {
+	for i := range s.counts {
+		s.counts[i] += other.counts[i]
+	}
+}

@@ -1,0 +1,226 @@
+// Package dash serves an interactive dashboard over the simulated
+// platform: pick a workload and a governor spec, run it, and see the
+// power/frequency/temperature timeline rendered in the browser. The
+// handler is plain net/http with inline SVG — no external assets — so
+// cmd/aapm-dash stays a single static binary.
+package dash
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"time"
+
+	"aapm/internal/control"
+	"aapm/internal/machine"
+	"aapm/internal/sensor"
+	"aapm/internal/spec"
+	"aapm/internal/thermal"
+	"aapm/internal/trace"
+)
+
+// Handler returns the dashboard's HTTP handler.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", index)
+	mux.HandleFunc("/api/workloads", apiWorkloads)
+	mux.HandleFunc("/api/run", apiRun)
+	return mux
+}
+
+// runRow is the JSON shape of one trace interval.
+type runRow struct {
+	TMs     float64 `json:"t_ms"`
+	FreqMHz int     `json:"freq_mhz"`
+	PowerW  float64 `json:"power_w"`
+	IPC     float64 `json:"ipc"`
+	DPC     float64 `json:"dpc"`
+	TempC   float64 `json:"temp_c,omitempty"`
+	Duty    float64 `json:"duty,omitempty"`
+	Phase   string  `json:"phase"`
+}
+
+// runResponse is the JSON payload of /api/run.
+type runResponse struct {
+	Workload    string   `json:"workload"`
+	Policy      string   `json:"policy"`
+	DurationSec float64  `json:"duration_sec"`
+	EnergyJ     float64  `json:"energy_j"`
+	AvgPowerW   float64  `json:"avg_power_w"`
+	Transitions int      `json:"transitions"`
+	Rows        []runRow `json:"rows"`
+}
+
+func apiWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, spec.Names())
+}
+
+// maxRunSeconds bounds a dashboard run so a request cannot hold the
+// server arbitrarily long (simulated seconds, not wall-clock; the
+// simulator covers a minute of virtual time in well under a second).
+const maxRunSeconds = 300
+
+func apiRun(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("workload")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "missing workload parameter")
+		return
+	}
+	wl, err := spec.ByName(name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	govSpec := q.Get("gov")
+	if govSpec == "" {
+		govSpec = "none"
+	}
+	var seed int64 = 7
+	if s := q.Get("seed"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &seed); err != nil {
+			httpError(w, http.StatusBadRequest, "bad seed")
+			return
+		}
+	}
+	tc := thermal.PentiumMThermal()
+	m, err := machine.New(machine.Config{
+		Chain:    sensor.NIDefault(),
+		Seed:     seed,
+		Thermal:  &tc,
+		MaxTicks: maxRunSeconds * 100,
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	gov, err := control.Parse(govSpec, m.Table())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	run, err := m.Run(wl, gov)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, toResponse(run))
+}
+
+func toResponse(run *trace.Run) runResponse {
+	resp := runResponse{
+		Workload:    run.Workload,
+		Policy:      run.Policy,
+		DurationSec: run.Duration.Seconds(),
+		EnergyJ:     run.EnergyJ,
+		AvgPowerW:   run.AvgPowerW(),
+		Transitions: run.Transitions,
+	}
+	for _, row := range run.Rows {
+		resp.Rows = append(resp.Rows, runRow{
+			TMs:     float64(row.T) / float64(time.Millisecond),
+			FreqMHz: row.FreqMHz,
+			PowerW:  row.MeasuredPowerW,
+			IPC:     row.IPC,
+			DPC:     row.DPC,
+			TempC:   row.TempC,
+			Duty:    row.Duty,
+			Phase:   row.Phase,
+		})
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are out; nothing more to do than drop the conn.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
+<html><head><title>aapm dashboard</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem; max-width: 70rem; }
+svg { border: 1px solid #ccc; width: 100%; height: 16rem; }
+label { margin-right: 1rem; }
+#summary { margin: 1rem 0; font-variant-numeric: tabular-nums; }
+</style></head>
+<body>
+<h1>aapm — simulated Pentium M power management</h1>
+<p>Pick a workload and a governor spec (e.g. <code>pm:limit=14.5</code>,
+<code>ps:floor=0.8</code>, <code>thermal:limit=75</code>, <code>none</code>).</p>
+<label>workload <select id="workload"></select></label>
+<label>governor <input id="gov" value="pm:limit=14.5" size="28"></label>
+<label>seed <input id="seed" value="7" size="4"></label>
+<button id="go">run</button>
+<div id="summary"></div>
+<h3>power (W)</h3><svg id="power" viewBox="0 0 1000 200" preserveAspectRatio="none"></svg>
+<h3>frequency (MHz)</h3><svg id="freq" viewBox="0 0 1000 200" preserveAspectRatio="none"></svg>
+<h3>die temperature (°C)</h3><svg id="temp" viewBox="0 0 1000 200" preserveAspectRatio="none"></svg>
+<script>
+async function init() {
+  const names = await (await fetch('/api/workloads')).json();
+  const sel = document.getElementById('workload');
+  for (const n of names) {
+    const o = document.createElement('option');
+    o.value = o.textContent = n;
+    sel.appendChild(o);
+  }
+  sel.value = 'ammp';
+}
+function poly(svg, xs, ys) {
+  svg.innerHTML = '';
+  if (!ys.length) return;
+  const lo = Math.min(...ys), hi = Math.max(...ys), span = (hi - lo) || 1;
+  const pts = ys.map((y, i) =>
+    (1000 * i / (ys.length - 1 || 1)).toFixed(1) + ',' +
+    (195 - 190 * (y - lo) / span).toFixed(1)).join(' ');
+  const pl = document.createElementNS('http://www.w3.org/2000/svg', 'polyline');
+  pl.setAttribute('points', pts);
+  pl.setAttribute('fill', 'none');
+  pl.setAttribute('stroke', '#0a5');
+  pl.setAttribute('stroke-width', '1.5');
+  svg.appendChild(pl);
+  const label = document.createElementNS('http://www.w3.org/2000/svg', 'text');
+  label.setAttribute('x', 5); label.setAttribute('y', 14);
+  label.setAttribute('font-size', 12);
+  label.textContent = lo.toFixed(1) + ' … ' + hi.toFixed(1);
+  svg.appendChild(label);
+}
+document.getElementById('go').onclick = async () => {
+  const w = document.getElementById('workload').value;
+  const g = encodeURIComponent(document.getElementById('gov').value);
+  const s = document.getElementById('seed').value;
+  const resp = await fetch('/api/run?workload=' + w + '&gov=' + g + '&seed=' + s);
+  const data = await resp.json();
+  if (data.error) { document.getElementById('summary').textContent = 'error: ' + data.error; return; }
+  document.getElementById('summary').textContent =
+    data.policy + ': ' + data.duration_sec.toFixed(2) + 's, ' +
+    data.energy_j.toFixed(1) + 'J, avg ' + data.avg_power_w.toFixed(2) + 'W, ' +
+    data.transitions + ' transitions';
+  poly(document.getElementById('power'), null, data.rows.map(r => r.power_w));
+  poly(document.getElementById('freq'), null, data.rows.map(r => r.freq_mhz));
+  poly(document.getElementById('temp'), null, data.rows.map(r => r.temp_c));
+};
+init();
+</script>
+</body></html>`))
+
+func index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = indexTmpl.Execute(w, nil)
+}

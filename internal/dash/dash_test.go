@@ -1,0 +1,92 @@
+package dash
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIndexServesHTML(t *testing.T) {
+	rec := get(t, Handler(), "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "aapm dashboard") {
+		t.Error("index missing title")
+	}
+}
+
+func TestIndexNotFoundElsewhere(t *testing.T) {
+	rec := get(t, Handler(), "/nope")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", rec.Code)
+	}
+}
+
+func TestAPIWorkloads(t *testing.T) {
+	rec := get(t, Handler(), "/api/workloads")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var names []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 26 {
+		t.Errorf("workloads = %d", len(names))
+	}
+}
+
+func TestAPIRun(t *testing.T) {
+	rec := get(t, Handler(), "/api/run?workload=gzip&gov=ps:floor=0.8&seed=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp runResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Workload != "gzip" || !strings.HasPrefix(resp.Policy, "PS(") {
+		t.Errorf("resp header = %+v", resp)
+	}
+	if resp.DurationSec <= 0 || len(resp.Rows) == 0 {
+		t.Error("degenerate run payload")
+	}
+	// The thermal model is always on for the dashboard.
+	if resp.Rows[len(resp.Rows)-1].TempC <= 0 {
+		t.Error("missing temperature series")
+	}
+}
+
+func TestAPIRunErrors(t *testing.T) {
+	cases := map[string]int{
+		"/api/run":                              http.StatusBadRequest,
+		"/api/run?workload=nope":                http.StatusNotFound,
+		"/api/run?workload=gzip&gov=bogus":      http.StatusBadRequest,
+		"/api/run?workload=gzip&seed=notanint":  http.StatusBadRequest,
+		"/api/run?workload=gzip&gov=pm:limit=x": http.StatusBadRequest,
+	}
+	for path, want := range cases {
+		rec := get(t, Handler(), path)
+		if rec.Code != want {
+			t.Errorf("%s -> %d, want %d", path, rec.Code, want)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error payload %q", path, rec.Body.String())
+		}
+	}
+}

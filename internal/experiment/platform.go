@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"aapm/internal/machine"
+	"aapm/internal/mloops"
+	"aapm/internal/model"
+	"aapm/internal/power"
+	"aapm/internal/pstate"
+)
+
+// PlatformResult demonstrates the paper's §II point that counter-based
+// power models are platform-specific: the Table II model trained for
+// the 755 misestimates a low-voltage sibling part until retrained on
+// that part's own measurements.
+type PlatformResult struct {
+	// MAE755On755 is the published model's per-sample error on its own
+	// platform's training data (the baseline fit quality).
+	MAE755On755 float64
+	// MAE755On738 is the published 755 model applied, frequency by
+	// frequency, to the low-voltage 738 platform.
+	MAE755On738 float64
+	// MAE738Retrained is the error after retraining on the 738's own
+	// training runs.
+	MAE738Retrained float64
+	// Rows detail the per-p-state comparison on the 738.
+	Rows []PlatformRow
+}
+
+// PlatformRow is one shared frequency's coefficients and errors.
+type PlatformRow struct {
+	FreqMHz         int
+	Alpha755        float64
+	AlphaRetrained  float64
+	MAE755, MAERetr float64
+}
+
+// PlatformSpecificity trains and cross-applies the power model across
+// the two platforms.
+func (c *Context) PlatformSpecificity() (*PlatformResult, error) {
+	set, err := mloops.TrainingSet()
+	if err != nil {
+		return nil, err
+	}
+
+	// Training data on each platform.
+	pts755, err := model.CollectTrainingData(machine.Config{Chain: c.chain, Seed: c.opts.Seed}, set, trainingInstructions)
+	if err != nil {
+		return nil, err
+	}
+	t738 := pstate.PentiumM738LV()
+	truth738, err := power.NewInterpolatedGroundTruth(t738)
+	if err != nil {
+		return nil, err
+	}
+	pts738, err := model.CollectTrainingData(machine.Config{
+		Truth: truth738,
+		Chain: c.chain,
+		Seed:  c.opts.Seed,
+	}, set, trainingInstructions)
+	if err != nil {
+		return nil, err
+	}
+
+	paper := model.PaperPowerModel()
+	retrained, err := model.FitPowerModel(t738, pts738)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PlatformResult{}
+	// Published model on its own platform.
+	var sum float64
+	var n int
+	for _, p := range pts755 {
+		sum += math.Abs(p.PowerW - paper.Estimate(p.PStateIndex, p.DPC))
+		n++
+	}
+	res.MAE755On755 = sum / float64(n)
+
+	// Published model (matched by frequency) and retrained model on
+	// the 738.
+	perState := map[int][3]float64{} // freq -> {n, err755, errRetr}
+	sum, n = 0, 0
+	var sumR float64
+	for _, p := range pts738 {
+		idx755 := paper.Table().IndexOf(p.FreqMHz)
+		if idx755 < 0 {
+			return nil, fmt.Errorf("experiment: 738 frequency %d MHz missing from the 755 table", p.FreqMHz)
+		}
+		e755 := math.Abs(p.PowerW - paper.Estimate(idx755, p.DPC))
+		eRetr := math.Abs(p.PowerW - retrained.Estimate(p.PStateIndex, p.DPC))
+		sum += e755
+		sumR += eRetr
+		n++
+		acc := perState[p.FreqMHz]
+		perState[p.FreqMHz] = [3]float64{acc[0] + 1, acc[1] + e755, acc[2] + eRetr}
+	}
+	res.MAE755On738 = sum / float64(n)
+	res.MAE738Retrained = sumR / float64(n)
+
+	for i := 0; i < t738.Len(); i++ {
+		f := t738.At(i).FreqMHz
+		acc := perState[f]
+		idx755 := paper.Table().IndexOf(f)
+		res.Rows = append(res.Rows, PlatformRow{
+			FreqMHz:        f,
+			Alpha755:       paper.Coefficients(idx755).Alpha,
+			AlphaRetrained: retrained.Coefficients(i).Alpha,
+			MAE755:         acc[1] / acc[0],
+			MAERetr:        acc[2] / acc[0],
+		})
+	}
+	return res, nil
+}
+
+// Print writes the cross-platform comparison.
+func (r *PlatformResult) Print(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Platform specificity: Table II model vs a low-voltage sibling part (§II)"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "755 model on 755 training data: MAE %.3f W\n", r.MAE755On755)
+	fmt.Fprintf(w, "755 model on 738LV:             MAE %.3f W\n", r.MAE755On738)
+	fmt.Fprintf(w, "retrained on 738LV:             MAE %.3f W\n", r.MAE738Retrained)
+	fmt.Fprintf(w, "%6s %10s %12s %10s %10s\n", "MHz", "alpha 755", "alpha 738fit", "mae 755", "mae retr")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%6d %10.3f %12.3f %9.3fW %9.3fW\n",
+			row.FreqMHz, row.Alpha755, row.AlphaRetrained, row.MAE755, row.MAERetr)
+	}
+	return nil
+}

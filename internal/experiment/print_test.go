@@ -1,0 +1,143 @@
+package experiment
+
+// Rendering coverage: every experiment's Print output must carry its
+// key rows. Results come from the shared cached context, so these are
+// cheap despite exercising the full pipeline.
+
+import (
+	"strings"
+	"testing"
+)
+
+func printed(t *testing.T, p Printable) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := p.Print(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestPrintFig2(t *testing.T) {
+	r, err := sharedCtx(t).Fig2PstatePerformance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := printed(t, r)
+	for _, want := range []string{"swim", "gap", "sixtrack", "1600", "2000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2 print missing %q", want)
+		}
+	}
+}
+
+func TestPrintTableI(t *testing.T) {
+	r, err := sharedCtx(t).TableIMicrobenchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := printed(t, r)
+	for _, want := range []string{"DAXPY-16KB", "FMA-256KB", "MLOAD_RAND-8MB", "CPIcore"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 print missing %q", want)
+		}
+	}
+}
+
+func TestPrintTableIIIAndIV(t *testing.T) {
+	t3, err := sharedCtx(t).TableIIIWorstCase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := printed(t, t3)
+	if !strings.Contains(out, "17.78") { // published 2 GHz value
+		t.Errorf("table3 print missing paper column:\n%s", out)
+	}
+	t4, err := sharedCtx(t).TableIVStaticFrequencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = printed(t, t4)
+	for _, want := range []string{"17.5", "1800", "10.5", "1400"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table4 print missing %q", want)
+		}
+	}
+}
+
+func TestPrintFig6(t *testing.T) {
+	r, err := sharedCtx(t).Fig6PerfVsPowerLimit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := printed(t, r)
+	if !strings.Contains(out, "PM(dynamic)") || !strings.Contains(out, "static") {
+		t.Errorf("fig6 print incomplete:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 10 {
+		t.Errorf("fig6 print too short")
+	}
+}
+
+func TestPrintFig7(t *testing.T) {
+	r, err := sharedCtx(t).Fig7PMSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := printed(t, r)
+	for _, want := range []string{"crafty", "sixtrack", "possible speedup", "86%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 print missing %q", want)
+		}
+	}
+}
+
+func TestPrintAdherence(t *testing.T) {
+	r, err := sharedCtx(t).PMLimitAdherence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := printed(t, r)
+	if !strings.Contains(out, "galgel") || !strings.Contains(out, "13.5") {
+		t.Errorf("adherence print missing worst case:\n%s", out)
+	}
+}
+
+func TestPrintFig10AndFig11IncludeAllBench(t *testing.T) {
+	f10, err := sharedCtx(t).Fig10EnergySavings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := printed(t, f10)
+	if strings.Count(out, "ALLBENCH") != 1 {
+		t.Errorf("fig10 print ALLBENCH count wrong:\n%s", out)
+	}
+	// 26 benchmarks + ALLBENCH + header rows.
+	if got := strings.Count(out, "%"); got < 26*5 {
+		t.Errorf("fig10 print has only %d percent cells", got)
+	}
+	f11, err := sharedCtx(t).Fig11PerfReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = printed(t, f11)
+	if strings.Count(out, "ALLBENCH") != 1 {
+		t.Errorf("fig11 print ALLBENCH count wrong")
+	}
+	if !strings.Contains(out, "floor violations with exponent 0.81") {
+		t.Errorf("fig11 print missing violation section")
+	}
+}
+
+func TestPrintTableII(t *testing.T) {
+	r, err := sharedCtx(t).TableIIPowerModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := printed(t, r)
+	for _, want := range []string{"2.93", "12.11", "eq.3 fit", "overall training MAE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 print missing %q", want)
+		}
+	}
+}

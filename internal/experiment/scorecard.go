@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"aapm/internal/paperref"
+)
+
+// Scorecard is the reproduction's self-assessment: every headline
+// claim of the paper, the published value, the measured value, and a
+// verdict under an explicit tolerance. `aapm-eval -exp scorecard`
+// regenerates it; TestScorecardAllPass pins it in CI.
+type Scorecard struct {
+	Rows []ScoreRow
+}
+
+// ScoreRow is one claim's comparison.
+type ScoreRow struct {
+	Claim    string
+	Paper    float64
+	Measured float64
+	// Tolerance is the absolute allowance on the measured value;
+	// Pass reports whether |measured-paper| <= tolerance (or, for
+	// qualitative rows, whether the condition held).
+	Tolerance   float64
+	Pass        bool
+	Qualitative bool
+	// Note carries the qualitative condition's description.
+	Note string
+}
+
+func (s *Scorecard) add(claim string, paper, measured, tol float64) {
+	s.Rows = append(s.Rows, ScoreRow{
+		Claim: claim, Paper: paper, Measured: measured, Tolerance: tol,
+		Pass: math.Abs(measured-paper) <= tol,
+	})
+}
+
+func (s *Scorecard) addQual(claim, note string, pass bool) {
+	s.Rows = append(s.Rows, ScoreRow{Claim: claim, Qualitative: true, Note: note, Pass: pass})
+}
+
+// Passed reports whether every row passed.
+func (s *Scorecard) Passed() bool {
+	for _, r := range s.Rows {
+		if !r.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// PaperComparison computes the scorecard from the evaluation results.
+func (c *Context) PaperComparison() (*Scorecard, error) {
+	sc := &Scorecard{}
+
+	fig1, err := c.Fig1PowerVariation()
+	if err != nil {
+		return nil, err
+	}
+	sc.addQual("Fig 1: power range exceeds 35% of peak",
+		fmt.Sprintf("measured %.1f%%", fig1.RangeFrac*100), fig1.RangeFrac > 0.35)
+	sc.addQual("Fig 1: galgel has the highest individual samples",
+		fig1.MaxSampleBench, fig1.MaxSampleBench == "galgel")
+
+	t4, err := c.TableIVStaticFrequencies()
+	if err != nil {
+		return nil, err
+	}
+	allMatch := true
+	for _, row := range t4.Rows {
+		if row.FreqMHz != row.PaperMHz {
+			allMatch = false
+		}
+	}
+	sc.addQual("Table IV: static frequency at all 8 limits", "derived = published", allMatch)
+
+	fig7, err := c.Fig7PMSpeedup()
+	if err != nil {
+		return nil, err
+	}
+	sc.add("Fig 7: PM fraction of possible speedup at 17.5 W",
+		paperref.PMFractionOfPossibleSpeedup, fig7.FractionOfPossible, 0.08)
+
+	adh, err := c.PMLimitAdherence()
+	if err != nil {
+		return nil, err
+	}
+	sc.addQual("Adherence: galgel is the only significant violator, worst at 13.5 W",
+		fmt.Sprintf("worst: %s at %.1f W", adh.Worst.Name, adh.Worst.LimitW),
+		adh.Worst.Name == "galgel" && adh.Worst.LimitW == 13.5)
+	sc.add("Adherence: galgel's worst over-limit run-time fraction",
+		paperref.GalgelOverFracAt135, adh.Worst.OverFrac, 0.05)
+
+	fig9, err := c.Fig9PSSuite()
+	if err != nil {
+		return nil, err
+	}
+	compliant := true
+	for _, row := range fig9.Rows {
+		if row.Violated {
+			compliant = false
+		}
+	}
+	sc.addQual("Fig 9: PS meets every suite-level floor", "all four floors", compliant)
+	sc.add("Fig 9: suite loss at the 60% floor",
+		paperref.PSLossAt60Floor, fig9.Rows[1].PerfReduction, 0.05)
+	sc.add("Fig 9: suite savings at the 80% floor",
+		paperref.PSSavingsAt80Floor, fig9.Rows[0].EnergySavings, 0.12)
+
+	fig11, err := c.Fig11PerfReduction()
+	if err != nil {
+		return nil, err
+	}
+	var art80, mcf80 *Violation
+	extra := false
+	for i := range fig11.Violations {
+		v := &fig11.Violations[i]
+		if v.Floor != 0.80 {
+			continue
+		}
+		switch v.Name {
+		case "art":
+			art80 = v
+		case "mcf":
+			mcf80 = v
+		default:
+			extra = true
+		}
+	}
+	sc.addQual("Fig 11: art and mcf are the only 80%-floor violators",
+		fmt.Sprintf("%d violations recorded", len(fig11.Violations)),
+		art80 != nil && mcf80 != nil && !extra)
+	if art80 != nil {
+		sc.add("Fig 11: art loss at 80% floor (e=0.81)", paperref.ArtLossAt80, art80.Reduction081, 0.05)
+		sc.add("Fig 11: art loss at 80% floor (e=0.59)", paperref.ArtLossAt80Alt, art80.Reduction059, 0.05)
+	}
+	if mcf80 != nil {
+		sc.add("Fig 11: mcf loss at 80% floor (e=0.81)", paperref.McfLossAt80, mcf80.Reduction081, 0.05)
+		sc.add("Fig 11: mcf loss at 80% floor (e=0.59)", paperref.McfLossAt80Alt, mcf80.Reduction059, 0.05)
+		sc.addQual("Fig 11: exponent 0.59 repairs mcf's floor",
+			fmt.Sprintf("loss %.1f%%", mcf80.Reduction059*100), mcf80.Reduction059 <= 0.20)
+	}
+	return sc, nil
+}
+
+// Print writes the scorecard.
+func (s *Scorecard) Print(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Reproduction scorecard (paper vs measured)"); err != nil {
+		return err
+	}
+	for _, r := range s.Rows {
+		mark := "PASS"
+		if !r.Pass {
+			mark = "FAIL"
+		}
+		if r.Qualitative {
+			fmt.Fprintf(w, "  [%s] %-58s %s\n", mark, r.Claim, r.Note)
+			continue
+		}
+		fmt.Fprintf(w, "  [%s] %-58s paper %6.3f measured %6.3f (tol %.3f)\n",
+			mark, r.Claim, r.Paper, r.Measured, r.Tolerance)
+	}
+	verdict := "ALL CLAIMS REPRODUCED"
+	if !s.Passed() {
+		verdict = "SOME CLAIMS NOT REPRODUCED"
+	}
+	_, err := fmt.Fprintf(w, "verdict: %s\n", verdict)
+	return err
+}

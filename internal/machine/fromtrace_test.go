@@ -1,0 +1,128 @@
+package machine
+
+// Record-and-replay round trip: the FromTrace inversion lives in
+// package phase but can only be exercised end-to-end with a machine,
+// so the integration test lives here.
+
+import (
+	"math"
+	"testing"
+
+	"aapm/internal/phase"
+	"aapm/internal/spec"
+)
+
+func TestFromTraceReplayReproducesRun(t *testing.T) {
+	w, err := spec.ByName("gap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iterations = 3
+	w.JitterPct = 0 // inversion reproduces means, not the jitter draw
+
+	m, err := New(Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := m.Run(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replayW, err := phase.FromTrace("gap-replay", orig.Rows, m.Table(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := m2.Run(replayW, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same frequency, same counters: duration, instructions and true
+	// energy must all reproduce closely.
+	if d := relErr(replay.Duration.Seconds(), orig.Duration.Seconds()); d > 0.02 {
+		t.Errorf("replay duration off by %.1f%%: %v vs %v", d*100, replay.Duration, orig.Duration)
+	}
+	if d := relErr(replay.Instructions, orig.Instructions); d > 0.02 {
+		t.Errorf("replay instructions off by %.1f%%", d*100)
+	}
+	if d := relErr(replay.EnergyJ, orig.EnergyJ); d > 0.05 {
+		t.Errorf("replay energy off by %.1f%%: %g vs %g", d*100, replay.EnergyJ, orig.EnergyJ)
+	}
+}
+
+func TestFromTracePreservesFrequencySensitivity(t *testing.T) {
+	// Record swim (memory-bound) at 2 GHz, replay at 600 MHz: the
+	// reconstruction must keep it memory-bound, i.e. lose far less
+	// than the 70% a core-bound workload would.
+	w, err := spec.ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iterations = 2
+	w.JitterPct = 0
+
+	m, _ := New(Config{Seed: 9})
+	orig, err := m.Run(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayW, err := phase.FromTrace("swim-replay", orig.Rows, m.Table(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, _ := New(Config{Seed: 9, StartFreqMHz: 600})
+	slowRun, err := slow.Run(replayW, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := 1 - orig.Duration.Seconds()/slowRun.Duration.Seconds()
+	if loss > 0.35 {
+		t.Errorf("replayed swim loses %.1f%% at 600 MHz; memory-boundedness not preserved", loss*100)
+	}
+}
+
+func TestFromTraceHandlesIdleRows(t *testing.T) {
+	m, _ := New(Config{Seed: 2})
+	w := phase.Workload{
+		Name: "idleful",
+		Phases: []phase.Params{
+			{Name: "work", Instructions: 2e8, CPICore: 0.5, MLP: 1, SpecFactor: 1.1},
+			{Name: "idle", IdleDuration: 100_000_000}, // 100ms
+		},
+	}
+	orig, err := m.Run(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayW, err := phase.FromTrace("idle-replay", orig.Rows, m.Table(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := New(Config{Seed: 2})
+	replay, err := m2.Run(replayW, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relErr(replay.Duration.Seconds(), orig.Duration.Seconds()); d > 0.05 {
+		t.Errorf("idle replay duration off by %.1f%%", d*100)
+	}
+}
+
+func TestFromTraceRejectsEmpty(t *testing.T) {
+	m, _ := New(Config{Seed: 1})
+	if _, err := phase.FromTrace("x", nil, m.Table(), 2); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

@@ -1,0 +1,589 @@
+// Package machine assembles the simulated Pentium M platform: the
+// p-state actuator, the PMU, the ground-truth power model and the
+// measurement chain, driven by a virtual 10 ms sampling clock.
+//
+// A Machine executes a phase-trace workload (package phase) under a
+// Governor — the power-management policy. Each tick it synthesizes the
+// interval's counter activity from the active phase and p-state,
+// computes true power, takes a sensed power sample, records a trace
+// row, and asks the governor for the next p-state. Everything runs on
+// virtual time with a seeded RNG, so runs are deterministic and free
+// of host GC/runtime jitter.
+package machine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"aapm/internal/counters"
+	"aapm/internal/phase"
+	"aapm/internal/power"
+	"aapm/internal/pstate"
+	"aapm/internal/sensor"
+	"aapm/internal/thermal"
+	"aapm/internal/trace"
+)
+
+// TickInfo is what a governor observes each monitoring interval —
+// exactly what the paper's user-level prototype sees: the elapsed
+// counters for the interval, the active p-state, and (for policies
+// that use measured-power feedback, an extension the paper proposes)
+// the sensed power sample.
+type TickInfo struct {
+	// Now is the virtual time at the end of the interval; Interval is
+	// its length.
+	Now      time.Duration
+	Interval time.Duration
+	// Sample holds the interval's counter deltas.
+	Sample counters.Sample
+	// PState is the state the interval executed at; PStateIndex its
+	// table index.
+	PState      pstate.PState
+	PStateIndex int
+	// Table is the platform's p-state table.
+	Table *pstate.Table
+	// MeasuredPowerW is the sensed average power for the interval.
+	MeasuredPowerW float64
+	// TempC is the digital thermal sensor reading at interval end;
+	// 0 when the platform has no thermal model configured.
+	TempC float64
+	// Duty is the clock-modulation duty cycle the interval ran at.
+	Duty float64
+}
+
+// Governor decides the p-state for the next interval. Implementations
+// live in package control.
+type Governor interface {
+	// Name labels the policy in traces.
+	Name() string
+	// Tick returns the desired p-state index for the next interval.
+	Tick(TickInfo) int
+}
+
+// InitialStater is optionally implemented by governors that want a
+// specific starting p-state (e.g. a static-clocking baseline); it
+// overrides the machine's configured start.
+type InitialStater interface {
+	// InitialIndex returns the starting p-state index given the
+	// machine's default.
+	InitialIndex(defaultIndex int) int
+}
+
+// Throttler is optionally implemented by governors that additionally
+// drive ACPI T-state style clock modulation. Duty is queried after
+// each Tick and applies to the next interval: the core receives
+// duty*f cycles per second; the stopped fraction draws gated idle
+// power. Values outside (0,1] clamp.
+type Throttler interface {
+	Duty() float64
+}
+
+// Config describes a platform instance.
+type Config struct {
+	// Table is the p-state table; nil selects the Pentium M 755 table.
+	Table *pstate.Table
+	// Truth is the ground-truth power model; nil selects the built-in
+	// Pentium M truth (requires the default table).
+	Truth *power.GroundTruth
+	// Chain is the power measurement chain; the zero value is ideal.
+	Chain sensor.Chain
+	// SamplePeriod is the monitoring interval; 0 selects 10 ms.
+	SamplePeriod time.Duration
+	// TransitionLatency is the DVFS switch cost; negative selects the
+	// default, 0 is instantaneous.
+	TransitionLatency time.Duration
+	// Thermal, when non-nil, enables the die-temperature model; the
+	// sensor reading is exposed to governors via TickInfo.TempC.
+	Thermal *thermal.Config
+	// Seed drives measurement noise and workload jitter. Runs of the
+	// same workload on the same seed observe identical jitter
+	// regardless of policy, so policy comparisons are paired.
+	Seed int64
+	// StartFreqMHz is the initial p-state frequency; 0 selects the
+	// highest state (matching how the paper's runs begin at full
+	// speed). Any other value must name a table state.
+	StartFreqMHz int
+	// MaxTicks bounds a run; 0 selects a generous default.
+	MaxTicks int
+}
+
+// DefaultSamplePeriod matches the paper's 10 ms monitoring interval.
+const DefaultSamplePeriod = 10 * time.Millisecond
+
+const defaultMaxTicks = 4_000_000
+
+// Machine is a simulated platform instance.
+type Machine struct {
+	table    *pstate.Table
+	truth    *power.GroundTruth
+	chain    sensor.Chain
+	period   time.Duration
+	translat time.Duration
+	thermal  *thermal.Config
+	seed     int64
+	startIdx int
+	maxTicks int
+
+	recorder *sensor.Recorder
+}
+
+// New validates cfg and builds a Machine.
+func New(cfg Config) (*Machine, error) {
+	var (
+		t     *pstate.Table
+		truth *power.GroundTruth
+	)
+	switch {
+	case cfg.Truth != nil:
+		truth = cfg.Truth
+		t = truth.Table()
+		if cfg.Table != nil && cfg.Table != t {
+			return nil, fmt.Errorf("machine: Table differs from Truth's table")
+		}
+	case cfg.Table != nil:
+		t = cfg.Table
+		var err error
+		truth, err = power.NewGroundTruth(t)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		t = pstate.PentiumM755()
+		truth = power.PentiumM755Truth()
+	}
+	if err := cfg.Chain.Validate(); err != nil {
+		return nil, err
+	}
+	period := cfg.SamplePeriod
+	if period == 0 {
+		period = DefaultSamplePeriod
+	}
+	if period < 0 {
+		return nil, fmt.Errorf("machine: negative sample period")
+	}
+	translat := cfg.TransitionLatency
+	if translat < 0 {
+		translat = pstate.DefaultTransitionLatency
+	}
+	start := t.Len() - 1
+	if cfg.StartFreqMHz != 0 {
+		start = t.IndexOf(cfg.StartFreqMHz)
+		if start < 0 {
+			return nil, fmt.Errorf("machine: no p-state with frequency %d MHz", cfg.StartFreqMHz)
+		}
+	}
+	maxTicks := cfg.MaxTicks
+	if maxTicks <= 0 {
+		maxTicks = defaultMaxTicks
+	}
+	if cfg.Thermal != nil {
+		if err := cfg.Thermal.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Machine{
+		table:    t,
+		truth:    truth,
+		chain:    cfg.Chain,
+		period:   period,
+		translat: translat,
+		thermal:  cfg.Thermal,
+		seed:     cfg.Seed,
+		startIdx: start,
+		maxTicks: maxTicks,
+		recorder: &sensor.Recorder{},
+	}, nil
+}
+
+// Table returns the platform's p-state table.
+func (m *Machine) Table() *pstate.Table { return m.table }
+
+// Truth returns the platform's ground-truth power model. Policies must
+// not use it (they only get TickInfo); experiments use it to evaluate
+// adherence.
+func (m *Machine) Truth() *power.GroundTruth { return m.truth }
+
+// SamplePeriod returns the monitoring interval.
+func (m *Machine) SamplePeriod() time.Duration { return m.period }
+
+// Recorder returns the acquisition stream of all runs so far.
+func (m *Machine) Recorder() *sensor.Recorder { return m.recorder }
+
+// runState tracks workload progress across intervals.
+type runState struct {
+	w         phase.Workload
+	iter      int     // current repeat
+	idx       int     // current phase within the list
+	remInstr  float64 // remaining instructions of current phase
+	remIdle   time.Duration
+	exhausted bool
+}
+
+func newRunState(w phase.Workload) *runState {
+	s := &runState{w: w}
+	s.load()
+	return s
+}
+
+func (s *runState) load() {
+	for {
+		if s.idx >= len(s.w.Phases) {
+			s.idx = 0
+			s.iter++
+			if s.iter >= s.w.Repeats() {
+				s.exhausted = true
+				return
+			}
+		}
+		p := s.w.Phases[s.idx]
+		if p.Idle() {
+			s.remIdle = p.IdleDuration
+			if s.remIdle > 0 {
+				return
+			}
+		} else if p.Instructions > 0 {
+			s.remInstr = p.Instructions
+			return
+		}
+		s.idx++
+	}
+}
+
+func (s *runState) current() phase.Params { return s.w.Phases[s.idx] }
+
+func (s *runState) advance() {
+	s.idx++
+	s.load()
+}
+
+// Session is an in-progress run advanced one monitoring interval at a
+// time. It exists for co-simulation: a coordinator can interleave the
+// steps of several machines and retarget their governors between
+// intervals (e.g. reassigning per-machine power limits from a shared
+// budget). Machine.Run is the single-machine convenience wrapper.
+type Session struct {
+	m      *Machine
+	w      phase.Workload
+	g      Governor
+	policy string
+
+	rng *rand.Rand
+	act *pstate.Actuator
+	st  *runState
+	tm  *thermal.Model
+	run *trace.Run
+
+	now        time.Duration
+	pendStall  time.Duration
+	energyTrue power.Energy
+	energyMeas power.Energy
+	duty       float64
+	tick       int
+	done       bool
+	finalized  bool
+}
+
+// NewSession validates the workload and prepares an incremental run.
+func (m *Machine) NewSession(w phase.Workload, g Governor) (*Session, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	act := pstate.NewActuator(m.table)
+	act.SetTransitionLatency(m.translat)
+	start := m.startIdx
+	if is, ok := g.(InitialStater); ok {
+		start = is.InitialIndex(start)
+	}
+	if _, err := act.Set(start); err != nil {
+		return nil, err
+	}
+	act.ResetStats() // positioning is not a policy transition
+
+	policy := "static"
+	if g != nil {
+		policy = g.Name()
+	}
+	var tm *thermal.Model
+	if m.thermal != nil {
+		var err error
+		tm, err = thermal.New(*m.thermal)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Session{
+		m:      m,
+		w:      w,
+		g:      g,
+		policy: policy,
+		rng:    rand.New(rand.NewSource(m.seed ^ int64(hashName(w.Name)))),
+		act:    act,
+		st:     newRunState(w),
+		tm:     tm,
+		run:    &trace.Run{Workload: w.Name, Policy: policy},
+		duty:   1.0,
+	}
+	m.recorder.Mark(0, w.Name, true)
+	return s, nil
+}
+
+// Done reports whether the workload has completed.
+func (s *Session) Done() bool { return s.done }
+
+// Now returns the session's virtual time.
+func (s *Session) Now() time.Duration { return s.now }
+
+// Governor returns the session's policy (nil for a pinned run).
+func (s *Session) Governor() Governor { return s.g }
+
+// LastRow returns the most recent trace row, if any interval completed.
+func (s *Session) LastRow() (trace.Row, bool) {
+	if len(s.run.Rows) == 0 {
+		return trace.Row{}, false
+	}
+	return s.run.Rows[len(s.run.Rows)-1], true
+}
+
+// Step advances the session by one monitoring interval and reports
+// whether the workload completed.
+func (s *Session) Step() (bool, error) {
+	if s.done {
+		return true, nil
+	}
+	if s.tick >= s.m.maxTicks {
+		return false, fmt.Errorf("machine: run %s/%s exceeded %d ticks", s.w.Name, s.policy, s.m.maxTicks)
+	}
+	s.tick++
+	m := s.m
+	ps := s.act.Current()
+	interval := m.period
+
+	// Per-interval workload intensity jitter, identical across
+	// policies for a given seed+workload+tick.
+	jitter := 1.0
+	if s.w.JitterPct > 0 {
+		g := s.rng.NormFloat64()
+		if g > 2 {
+			g = 2
+		}
+		if g < -2 {
+			g = -2
+		}
+		jitter = 1 + s.w.JitterPct*g
+		if jitter < 0.2 {
+			jitter = 0.2
+		}
+	}
+
+	var (
+		sample     counters.Sample
+		busy       time.Duration // compute time within interval
+		instrs     float64
+		lastPhase  string
+		activeTime = interval
+	)
+	// Transition stall consumes interval time with the core halted,
+	// as does the stopped fraction of a modulated clock (T-states).
+	stall := s.pendStall
+	if stall > activeTime {
+		stall = activeTime
+	}
+	s.pendStall -= stall
+	if s.duty < 1 {
+		stall += time.Duration(float64(activeTime-stall) * (1 - s.duty))
+	}
+	remaining := activeTime - stall
+
+	for remaining > 0 && !s.st.exhausted {
+		p := s.st.current()
+		lastPhase = p.Name
+		if p.Idle() {
+			idle := s.st.remIdle
+			if idle > remaining {
+				s.st.remIdle -= remaining
+				remaining = 0
+				break
+			}
+			remaining -= idle
+			s.st.remIdle = 0
+			s.st.advance()
+			continue
+		}
+		b := p.At(ps)
+		ipcEff := b.IPC * jitter
+		cyclesAvail := ps.FreqHz() * remaining.Seconds()
+		instrPossible := cyclesAvail * ipcEff
+		if instrPossible >= s.st.remInstr {
+			// Phase completes within the interval.
+			cyclesUsed := s.st.remInstr / ipcEff
+			dt := time.Duration(cyclesUsed / ps.FreqHz() * float64(time.Second))
+			if dt > remaining {
+				dt = remaining
+			}
+			addActivity(&sample, b, jitter, cyclesUsed)
+			instrs += s.st.remInstr
+			busy += dt
+			remaining -= dt
+			s.st.advance()
+			continue
+		}
+		addActivity(&sample, b, jitter, cyclesAvail)
+		instrs += instrPossible
+		s.st.remInstr -= instrPossible
+		busy += remaining
+		remaining = 0
+	}
+	// Interval may end early if the workload finished mid-interval;
+	// a zero-length interval means it was already exhausted.
+	used := interval - remaining
+	if used <= 0 {
+		s.done = true
+		return true, nil
+	}
+
+	truePower := m.intervalPower(s.act.CurrentIndex(), sample, busy, used)
+	measured := m.chain.Measure(truePower, s.rng)
+	s.energyTrue.Add(truePower, used.Seconds())
+	s.energyMeas.Add(measured, used.Seconds())
+	m.recorder.Record(s.now+used, measured)
+	var tempC float64
+	if s.tm != nil {
+		s.tm.Step(truePower, used)
+		tempC = s.tm.SensorC()
+	}
+
+	s.run.Rows = append(s.run.Rows, trace.Row{
+		T:              s.now,
+		Interval:       used,
+		FreqMHz:        ps.FreqMHz,
+		DPC:            sample.DPC(),
+		IPC:            sample.IPC(),
+		DCU:            sample.DCU(),
+		L2PC:           sample.L2PC(),
+		MemPC:          sample.MemPC(),
+		TruePowerW:     truePower,
+		MeasuredPowerW: measured,
+		Instructions:   instrs,
+		Phase:          lastPhase,
+		TempC:          tempC,
+		Duty:           s.duty,
+	})
+	s.now += used
+	s.run.Instructions += instrs
+
+	if s.st.exhausted {
+		s.done = true
+		return true, nil
+	}
+	if s.g != nil {
+		want := s.g.Tick(TickInfo{
+			Now:            s.now,
+			Interval:       used,
+			Sample:         sample,
+			PState:         ps,
+			PStateIndex:    s.act.CurrentIndex(),
+			Table:          m.table,
+			MeasuredPowerW: measured,
+			TempC:          tempC,
+			Duty:           s.duty,
+		})
+		if want != s.act.CurrentIndex() {
+			d, err := s.act.Set(want)
+			if err != nil {
+				return false, fmt.Errorf("machine: governor %s: %w", s.policy, err)
+			}
+			s.pendStall += d
+		}
+		if th, ok := s.g.(Throttler); ok {
+			s.duty = th.Duty()
+			if s.duty > 1 {
+				s.duty = 1
+			}
+			if s.duty < 0.05 {
+				s.duty = 0.05
+			}
+		}
+	}
+	return false, nil
+}
+
+// Result finalizes and returns the recorded trace. It may be called
+// once the session is done (or early, to inspect a truncated run);
+// finalization is idempotent.
+func (s *Session) Result() *trace.Run {
+	if !s.finalized {
+		s.m.recorder.Mark(s.now, s.w.Name, false)
+		s.run.Duration = s.now
+		s.run.EnergyJ = s.energyTrue.Joules()
+		s.run.MeasuredEnergyJ = s.energyMeas.Joules()
+		s.run.Transitions = s.act.Transitions()
+		s.finalized = true
+	}
+	return s.run
+}
+
+// Run executes w under governor g (nil g pins the start p-state) and
+// returns the recorded trace.
+func (m *Machine) Run(w phase.Workload, g Governor) (*trace.Run, error) {
+	s, err := m.NewSession(w, g)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		done, err := s.Step()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return s.Result(), nil
+		}
+	}
+}
+
+// addActivity accumulates cycles of execution of behaviour b (with
+// intensity jitter applied to the instruction-proportional rates) into
+// the interval sample.
+func addActivity(s *counters.Sample, b phase.Behavior, jitter, cycles float64) {
+	s.SetCount(counters.Cycles, s.Count(counters.Cycles)+uint64(cycles+0.5))
+	add := func(e counters.Event, rate float64) {
+		s.SetCount(e, s.Count(e)+uint64(rate*cycles+0.5))
+	}
+	add(counters.InstDecoded, b.DPC*jitter)
+	add(counters.InstRetired, b.IPC*jitter)
+	add(counters.DCUMissOutstanding, b.DCU)
+	add(counters.L2Requests, b.L2PC*jitter)
+	add(counters.MemRequests, b.MemPC*jitter)
+	add(counters.ResourceStalls, b.StallPC)
+}
+
+// idlePowerFraction is the fraction of the p-state's base power drawn
+// while the core is halted (deep clock gating).
+const idlePowerFraction = 0.5
+
+// intervalPower returns the interval-average true power: active power
+// from counter rates over the busy portion, gated idle power over the
+// rest.
+func (m *Machine) intervalPower(idx int, s counters.Sample, busy, total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	c := m.truth.Coefficients(idx)
+	idleW := c.Base * idlePowerFraction
+	if busy <= 0 {
+		return idleW
+	}
+	activeW := m.truth.Power(idx, s)
+	bf := busy.Seconds() / total.Seconds()
+	if bf > 1 {
+		bf = 1
+	}
+	return activeW*bf + idleW*(1-bf)
+}
+
+func hashName(name string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	return h.Sum32()
+}

@@ -1,0 +1,114 @@
+package machine_test
+
+// Property-based hardening: arbitrary valid workloads must run to
+// completion under every governor with sane traces — no panics, no
+// stuck runs, no impossible counter rates.
+
+import (
+	"math/rand"
+	"testing"
+
+	"aapm/internal/control"
+	"aapm/internal/machine"
+	"aapm/internal/phase"
+	"aapm/internal/sensor"
+)
+
+// randomWorkload draws a small multi-phase workload with parameters
+// across the whole plausible envelope.
+func randomWorkload(rng *rand.Rand, name string) phase.Workload {
+	nPhases := 1 + rng.Intn(4)
+	w := phase.Workload{Name: name, JitterPct: rng.Float64() * 0.1}
+	for i := 0; i < nPhases; i++ {
+		if rng.Float64() < 0.2 {
+			w.Phases = append(w.Phases, phase.Params{
+				Name:         "idle",
+				IdleDuration: machine.DefaultSamplePeriod * 3,
+			})
+			continue
+		}
+		mlp := 1 + rng.Float64()*7
+		l2 := rng.Float64() * 300
+		p := phase.Params{
+			Name:         "busy",
+			Instructions: 5e7 + rng.Float64()*5e8,
+			CPICore:      0.3 + rng.Float64()*1.5,
+			L2APKI:       l2,
+			MemAPKI:      rng.Float64() * l2,
+			MemBPI:       rng.Float64() * 10,
+			MLP:          mlp,
+			SpecFactor:   1 + rng.Float64(),
+			StallFrac:    rng.Float64() * 0.5,
+		}
+		w.Phases = append(w.Phases, p)
+	}
+	return w
+}
+
+func TestRandomWorkloadsRunSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	govs := []func() machine.Governor{
+		func() machine.Governor { return nil },
+		func() machine.Governor {
+			pm, err := control.NewPerformanceMaximizer(control.PMConfig{LimitW: 13.5, FeedbackGain: 0.2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pm
+		},
+		func() machine.Governor {
+			ps, err := control.NewPowerSave(control.PSConfig{Floor: 0.6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ps
+		},
+		func() machine.Governor { return &control.OnDemand{} },
+		func() machine.Governor {
+			th, err := control.NewThrottleSave(control.ThrottleSaveConfig{Floor: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return th
+		},
+	}
+	for trial := 0; trial < 25; trial++ {
+		w := randomWorkload(rng, "rnd")
+		if err := w.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid workload: %v", trial, err)
+		}
+		for gi, gf := range govs {
+			m, err := machine.New(machine.Config{Chain: sensor.NIDefault(), Seed: int64(trial)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, err := m.Run(w, gf())
+			if err != nil {
+				t.Fatalf("trial %d gov %d: %v", trial, gi, err)
+			}
+			if run.Duration <= 0 {
+				t.Fatalf("trial %d gov %d: zero duration", trial, gi)
+			}
+			if run.EnergyJ <= 0 {
+				t.Fatalf("trial %d gov %d: zero energy", trial, gi)
+			}
+			for ri, row := range run.Rows {
+				if row.IPC < 0 || row.DPC < row.IPC-1e-9 || row.DPC > 8 {
+					t.Fatalf("trial %d gov %d row %d: implausible rates %+v", trial, gi, ri, row)
+				}
+				if row.TruePowerW < 0 || row.TruePowerW > 40 {
+					t.Fatalf("trial %d gov %d row %d: implausible power %g", trial, gi, ri, row.TruePowerW)
+				}
+				if row.Duty < 0.05-1e-9 || row.Duty > 1+1e-9 {
+					t.Fatalf("trial %d gov %d row %d: duty %g", trial, gi, ri, row.Duty)
+				}
+			}
+			// Work conservation: every policy retires the same total
+			// instructions (within interval-rounding slack).
+			want := w.TotalInstructions()
+			if rel := (run.Instructions - want) / want; rel > 0.02 || rel < -0.02 {
+				t.Fatalf("trial %d gov %d: retired %.3g of %.3g instructions", trial, gi, run.Instructions, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package memsim models the off-chip DRAM main memory of the
+// simulated platform: a fixed wall-clock access latency with a simple
+// open-row bonus and a bandwidth ceiling.
+//
+// DRAM timing is frequency-independent in wall-clock terms, which is
+// the physical root of the paper's core observation: memory-bound
+// workloads see little performance change across p-states because
+// their critical path is measured in nanoseconds, not core cycles.
+package memsim
+
+import "fmt"
+
+// Config describes the DRAM model.
+type Config struct {
+	// LatencyNs is the row-miss (closed page) access latency.
+	LatencyNs float64
+	// RowHitLatencyNs is the latency when the access falls in the most
+	// recently opened row of its bank.
+	RowHitLatencyNs float64
+	// RowBytes is the row (page) size per bank.
+	RowBytes uint64
+	// Banks is the number of independent banks.
+	Banks int
+	// PeakBandwidthGBs caps sustained transfer bandwidth.
+	PeakBandwidthGBs float64
+}
+
+// DDR333 returns timing for the DDR-333 memory of the paper's
+// platform era: ~90 ns closed-page latency, ~45 ns open-page.
+func DDR333() Config {
+	return Config{
+		LatencyNs:        90,
+		RowHitLatencyNs:  45,
+		RowBytes:         4096,
+		Banks:            4,
+		PeakBandwidthGBs: 2.7,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.LatencyNs <= 0 || c.RowHitLatencyNs <= 0:
+		return fmt.Errorf("memsim: non-positive latency %+v", c)
+	case c.RowHitLatencyNs > c.LatencyNs:
+		return fmt.Errorf("memsim: row hit latency %g above row miss latency %g", c.RowHitLatencyNs, c.LatencyNs)
+	case c.RowBytes == 0 || c.Banks <= 0:
+		return fmt.Errorf("memsim: invalid geometry %+v", c)
+	case c.PeakBandwidthGBs <= 0:
+		return fmt.Errorf("memsim: non-positive bandwidth")
+	}
+	return nil
+}
+
+// Stats counts DRAM activity.
+type Stats struct {
+	Accesses uint64
+	RowHits  uint64
+	BytesXfr uint64
+}
+
+// RowHitRate returns the open-row hit fraction.
+func (s Stats) RowHitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
+// Memory is the DRAM model instance.
+type Memory struct {
+	cfg      Config
+	openRow  []uint64
+	rowValid []bool
+	stats    Stats
+}
+
+// New builds a Memory from cfg.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Memory{
+		cfg:      cfg,
+		openRow:  make([]uint64, cfg.Banks),
+		rowValid: make([]bool, cfg.Banks),
+	}, nil
+}
+
+// Config returns the DRAM configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Stats returns DRAM activity counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// Access performs one line transfer of lineBytes at addr and returns
+// its latency in nanoseconds.
+func (m *Memory) Access(addr uint64, lineBytes int) float64 {
+	m.stats.Accesses++
+	m.stats.BytesXfr += uint64(lineBytes)
+	row := addr / m.cfg.RowBytes
+	bank := int(row) % m.cfg.Banks
+	if m.rowValid[bank] && m.openRow[bank] == row {
+		m.stats.RowHits++
+		return m.cfg.RowHitLatencyNs
+	}
+	m.openRow[bank] = row
+	m.rowValid[bank] = true
+	return m.cfg.LatencyNs
+}
+
+// MinTransferNs returns the bandwidth-limited minimum time to move
+// n bytes, used to throttle streaming kernels beyond latency effects.
+func (m *Memory) MinTransferNs(n uint64) float64 {
+	return float64(n) / m.cfg.PeakBandwidthGBs // bytes / (GB/s) == ns
+}

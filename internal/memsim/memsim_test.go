@@ -1,0 +1,129 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidation(t *testing.T) {
+	ok := DDR333()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("DDR333 invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero latency", func(c *Config) { c.LatencyNs = 0 }},
+		{"zero row hit latency", func(c *Config) { c.RowHitLatencyNs = 0 }},
+		{"row hit above row miss", func(c *Config) { c.RowHitLatencyNs = c.LatencyNs + 1 }},
+		{"zero row bytes", func(c *Config) { c.RowBytes = 0 }},
+		{"zero banks", func(c *Config) { c.Banks = 0 }},
+		{"zero bandwidth", func(c *Config) { c.PeakBandwidthGBs = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DDR333()
+			tc.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", c)
+			}
+			if _, err := New(c); err == nil {
+				t.Error("New accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestRowHitLatency(t *testing.T) {
+	m, err := New(DDR333())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.Access(0, 64)
+	if first != 90 {
+		t.Errorf("cold access latency = %g, want 90", first)
+	}
+	second := m.Access(64, 64) // same 4 KB row
+	if second != 45 {
+		t.Errorf("open-row access latency = %g, want 45", second)
+	}
+	s := m.Stats()
+	if s.Accesses != 2 || s.RowHits != 1 || s.BytesXfr != 128 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.RowHitRate() != 0.5 {
+		t.Errorf("RowHitRate = %g, want 0.5", s.RowHitRate())
+	}
+}
+
+func TestRowConflictReopensRow(t *testing.T) {
+	m, _ := New(DDR333())
+	cfg := m.Config()
+	// Two rows mapping to the same bank: rows r and r+banks.
+	a := uint64(0)
+	b := uint64(cfg.RowBytes) * uint64(cfg.Banks)
+	m.Access(a, 64)
+	if got := m.Access(b, 64); got != 90 {
+		t.Errorf("row conflict latency = %g, want 90", got)
+	}
+	if got := m.Access(a, 64); got != 90 {
+		t.Errorf("reopened row latency = %g, want 90", got)
+	}
+}
+
+func TestBanksAreIndependent(t *testing.T) {
+	m, _ := New(DDR333())
+	cfg := m.Config()
+	a := uint64(0)                // bank 0
+	b := uint64(cfg.RowBytes * 1) // bank 1
+	m.Access(a, 64)
+	m.Access(b, 64)
+	if got := m.Access(a+64, 64); got != cfg.RowHitLatencyNs {
+		t.Errorf("bank-0 row closed by bank-1 access: latency %g", got)
+	}
+}
+
+func TestMinTransferNs(t *testing.T) {
+	m, _ := New(DDR333())
+	got := m.MinTransferNs(2700)
+	if math.Abs(got-1000) > 1e-9 {
+		t.Errorf("MinTransferNs(2700B at 2.7GB/s) = %g, want 1000", got)
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	var s Stats
+	if s.RowHitRate() != 0 {
+		t.Error("empty RowHitRate != 0")
+	}
+}
+
+// Property: every access latency is either the row-hit or row-miss
+// latency, and stats stay consistent.
+func TestLatencyValuesAreWellFormed(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		m, err := New(DDR333())
+		if err != nil {
+			return false
+		}
+		cfg := m.Config()
+		hits := uint64(0)
+		for _, a := range addrs {
+			lat := m.Access(uint64(a), 64)
+			switch lat {
+			case cfg.RowHitLatencyNs:
+				hits++
+			case cfg.LatencyNs:
+			default:
+				return false
+			}
+		}
+		s := m.Stats()
+		return s.Accesses == uint64(len(addrs)) && s.RowHits == hits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package mixes provides workloads with varying utilization —
+// interactive and server load patterns with real idle time.
+//
+// The SPEC suite runs at 100% load, where demand-based switching saves
+// nothing (the paper's §IV-B critique). These mixes exercise the other
+// half of the comparison: an ondemand-style governor recovers energy
+// during idle gaps, PS additionally trades performance during the busy
+// bursts, and the two compose.
+package mixes
+
+import (
+	"fmt"
+	"time"
+
+	"aapm/internal/phase"
+	"aapm/internal/pstate"
+)
+
+// burst describes compute work resembling an integer-code working set:
+// moderately memory-light, speculation-heavy.
+func burst(name string, ms float64) phase.Params {
+	p := phase.Params{
+		Name:         name,
+		Instructions: 1, // replaced from duration below
+		CPICore:      0.7,
+		L2APKI:       60, // ~0.3 stall cycles/instr at L2 latency, MLP 2
+		MemAPKI:      7,  // light DRAM traffic
+		MemBPI:       0.45,
+		MLP:          2,
+		SpecFactor:   1.5,
+		StallFrac:    0.12,
+	}
+	ps := pstate.PentiumM755().Max()
+	p.Instructions = ps.FreqHz() * (ms / 1000) * p.At(ps).IPC
+	return p
+}
+
+func idle(name string, ms float64) phase.Params {
+	return phase.Params{Name: name, IdleDuration: time.Duration(ms * float64(time.Millisecond))}
+}
+
+// Office models an interactive desktop: short keystroke/recalc bursts
+// separated by think time, ~30% average utilization.
+func Office() phase.Workload {
+	w := phase.Workload{
+		Name: "office",
+		Phases: []phase.Params{
+			burst("office/edit", 120),
+			idle("office/think", 280),
+			burst("office/recalc", 60),
+			idle("office/pause", 140),
+		},
+		Iterations: 50,
+		JitterPct:  0.05,
+	}
+	mustValidate(w)
+	return w
+}
+
+// WebServer models request processing at the given utilization
+// (0 < util <= 1): a fixed 50 ms service burst followed by the idle
+// gap that produces the requested utilization.
+func WebServer(util float64) phase.Workload {
+	if util <= 0 || util > 1 {
+		panic(fmt.Sprintf("mixes: utilization %g outside (0,1]", util))
+	}
+	const busyMs = 50.0
+	idleMs := busyMs*(1/util) - busyMs
+	phases := []phase.Params{burst("web/request", busyMs)}
+	if idleMs > 0.5 {
+		phases = append(phases, idle("web/wait", idleMs))
+	}
+	w := phase.Workload{
+		Name:       fmt.Sprintf("web-%02.0f", util*100),
+		Phases:     phases,
+		Iterations: int(20000 / (busyMs + idleMs)),
+		JitterPct:  0.05,
+	}
+	mustValidate(w)
+	return w
+}
+
+// Batch models a fully loaded compute job (the regime the SPEC suite
+// covers), included so the three mixes span the utilization axis.
+func Batch() phase.Workload {
+	w := phase.Workload{
+		Name:       "batch",
+		Phases:     []phase.Params{burst("batch/compute", 1000)},
+		Iterations: 20,
+		JitterPct:  0.03,
+	}
+	mustValidate(w)
+	return w
+}
+
+// All returns the standard mix set: office (~30% util), web at 50%,
+// web at 90%, and batch (100%).
+func All() []phase.Workload {
+	return []phase.Workload{Office(), WebServer(0.5), WebServer(0.9), Batch()}
+}
+
+func mustValidate(w phase.Workload) {
+	if err := w.Validate(); err != nil {
+		panic("mixes: " + err.Error())
+	}
+}

@@ -1,0 +1,94 @@
+package mixes
+
+import (
+	"testing"
+
+	"aapm/internal/machine"
+	"aapm/internal/pstate"
+)
+
+func TestAllMixesValidate(t *testing.T) {
+	ws := All()
+	if len(ws) != 4 {
+		t.Fatalf("All = %d mixes", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate mix %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestOfficeUtilization(t *testing.T) {
+	w := Office()
+	ps := pstate.PentiumM755().Max()
+	var busy, idle float64
+	for _, p := range w.Phases {
+		if p.Idle() {
+			idle += p.IdleDuration.Seconds()
+		} else {
+			busy += p.TimeAt(ps).Seconds()
+		}
+	}
+	util := busy / (busy + idle)
+	if util < 0.2 || util > 0.4 {
+		t.Errorf("office utilization = %.2f, want ~0.3", util)
+	}
+}
+
+func TestWebServerUtilization(t *testing.T) {
+	for _, util := range []float64{0.3, 0.5, 0.9, 1.0} {
+		w := WebServer(util)
+		ps := pstate.PentiumM755().Max()
+		var busy, idle float64
+		for _, p := range w.Phases {
+			if p.Idle() {
+				idle += p.IdleDuration.Seconds()
+			} else {
+				busy += p.TimeAt(ps).Seconds()
+			}
+		}
+		got := busy / (busy + idle)
+		if diff := got - util; diff > 0.05 || diff < -0.05 {
+			t.Errorf("web(%g) utilization = %.2f", util, got)
+		}
+	}
+}
+
+func TestWebServerPanicsOnBadUtil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WebServer(0) did not panic")
+		}
+	}()
+	WebServer(0)
+}
+
+func TestBatchHasNoIdle(t *testing.T) {
+	for _, p := range Batch().Phases {
+		if p.Idle() {
+			t.Error("batch contains idle phases")
+		}
+	}
+}
+
+func TestMixesRunnable(t *testing.T) {
+	m, err := machine.New(machine.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range All() {
+		run, err := m.Run(w, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if run.Duration <= 0 || run.Instructions <= 0 {
+			t.Errorf("%s: degenerate run", w.Name)
+		}
+	}
+}

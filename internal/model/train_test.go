@@ -1,0 +1,110 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"aapm/internal/machine"
+	"aapm/internal/mloops"
+	"aapm/internal/phase"
+	"aapm/internal/sensor"
+)
+
+func TestCollectTrainingDataValidation(t *testing.T) {
+	if _, err := CollectTrainingData(machine.Config{}, nil, 1e6); err == nil {
+		t.Error("empty training set accepted")
+	}
+	set := []phase.Params{{
+		Name: "p", Instructions: 1e6, CPICore: 0.5, MLP: 1, SpecFactor: 1.1,
+	}}
+	if _, err := CollectTrainingData(machine.Config{}, set, 0); err == nil {
+		t.Error("zero run length accepted")
+	}
+}
+
+func TestCollectTrainingDataShape(t *testing.T) {
+	set := []phase.Params{
+		{Name: "core", Instructions: 1, CPICore: 0.5, MLP: 1, SpecFactor: 1.1},
+		{Name: "mem", Instructions: 1, CPICore: 0.5, L2APKI: 150, MemAPKI: 120, MLP: 2, SpecFactor: 1.3},
+	}
+	pts, err := CollectTrainingData(machine.Config{Seed: 3}, set, 3e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*8 {
+		t.Fatalf("collected %d points, want 16", len(pts))
+	}
+	for _, p := range pts {
+		if p.DPC <= 0 || p.PowerW <= 0 || p.IPC <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+	// The memory config's DCU/IPC must dominate the core config's at
+	// every p-state.
+	byState := map[int]map[string]TrainingPoint{}
+	for _, p := range pts {
+		if byState[p.PStateIndex] == nil {
+			byState[p.PStateIndex] = map[string]TrainingPoint{}
+		}
+		byState[p.PStateIndex][p.Config] = p
+	}
+	for idx, m := range byState {
+		if m["mem"].DCUPerInst <= m["core"].DCUPerInst {
+			t.Errorf("p-state %d: mem DCU/IPC %g <= core %g", idx, m["mem"].DCUPerInst, m["core"].DCUPerInst)
+		}
+	}
+}
+
+// TestTrainingRecoversTableII is the end-to-end training pipeline: the
+// MS-Loops 12-configuration set, characterized through the simulated
+// cache hierarchy and run at all eight p-states with measurement
+// noise, must fit back close to the published Table II coefficients.
+func TestTrainingRecoversTableII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training pipeline is slow; skipped with -short")
+	}
+	set, err := mloops.TrainingSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := CollectTrainingData(machine.Config{
+		Chain: sensor.NIDefault(),
+		Seed:  7,
+	}, set, 3e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12*8 {
+		t.Fatalf("collected %d points, want 96 (the paper's 12 per p-state)", len(pts))
+	}
+	paper := PaperPowerModel()
+	fit, err := FitPowerModel(paper.Table(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < paper.Table().Len(); i++ {
+		got := fit.Coefficients(i)
+		want := paper.Coefficients(i)
+		if math.Abs(got.Alpha-want.Alpha)/want.Alpha > 0.25 {
+			t.Errorf("%d MHz: fitted alpha %.3f vs paper %.3f",
+				paper.Table().At(i).FreqMHz, got.Alpha, want.Alpha)
+		}
+		if math.Abs(got.Beta-want.Beta)/want.Beta > 0.15 {
+			t.Errorf("%d MHz: fitted beta %.3f vs paper %.3f",
+				paper.Table().At(i).FreqMHz, got.Beta, want.Beta)
+		}
+	}
+
+	// The performance-model fit must classify with a sub-3 threshold
+	// and land the exponent in the paper's (0.59..0.81) neighbourhood.
+	pf, err := FitPerfModel(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Best.Exponent < 0.45 || pf.Best.Exponent > 1.05 {
+		t.Errorf("fitted exponent = %.2f, expected near the paper's 0.59..0.81 band", pf.Best.Exponent)
+	}
+	if pf.MeanAbsRelErr > 0.25 {
+		t.Errorf("perf-model training error = %.3f, want < 0.25", pf.MeanAbsRelErr)
+	}
+}

@@ -1,0 +1,93 @@
+package phase
+
+import (
+	"fmt"
+
+	"aapm/internal/pstate"
+	"aapm/internal/trace"
+)
+
+// FromTrace inverts a recorded run back into a phase workload: each
+// 10 ms row becomes a phase whose parameters reproduce the observed
+// IPC, decode rate and memory-boundedness at the frequency the row ran
+// at. Replaying the workload at that frequency reproduces the original
+// counters; replaying under a different policy predicts how the same
+// execution would have behaved elsewhere — the record-and-replay
+// workflow a real deployment would use to evaluate policies offline
+// from production traces.
+//
+// The inversion is under-determined in two places and resolves them
+// conservatively: the L1-miss stall budget is split between L2 and
+// DRAM in proportion to the row's bus-vs-L2 request rates, and the
+// overlap factor (MLP) is fixed at the given value (2 matches most of
+// the suite).
+func FromTrace(name string, rows []trace.Row, table *pstate.Table, mlp float64) (Workload, error) {
+	if len(rows) == 0 {
+		return Workload{}, fmt.Errorf("phase: empty trace")
+	}
+	if mlp < 1 {
+		mlp = 2
+	}
+	w := Workload{Name: name}
+	for i, r := range rows {
+		if r.Instructions <= 0 || r.IPC <= 0 {
+			// Idle interval.
+			w.Phases = append(w.Phases, Params{
+				Name:         fmt.Sprintf("%s/idle%d", name, i),
+				IdleDuration: r.Interval,
+			})
+			continue
+		}
+		ps, err := table.ByFreq(r.FreqMHz)
+		if err != nil {
+			return Workload{}, fmt.Errorf("phase: row %d: %w", i, err)
+		}
+		cpi := 1.0 / r.IPC
+		stallPerInst := r.DCU * cpi // DCU occupancy × cycles/instr
+
+		// Split the stall budget by observed traffic: bus requests
+		// carry the frequency-scaled DRAM latency, the rest is L2.
+		l2RPI := r.L2PC * cpi
+		memRPI := r.MemPC * cpi
+		memLatCycles := MemLatencyNs * float64(ps.FreqMHz) / 1000.0
+		l2Weight := l2RPI * L2LatencyCycles
+		memWeight := memRPI * memLatCycles
+		var l2Stall, memStall float64
+		if tot := l2Weight + memWeight; tot > 0 {
+			l2Stall = stallPerInst * l2Weight / tot
+			memStall = stallPerInst * memWeight / tot
+		}
+		core := cpi - l2Stall - memStall
+		if core <= 0.05 {
+			core = 0.05
+		}
+		p := Params{
+			Name:         fmt.Sprintf("%s/p%d", name, i),
+			Instructions: r.Instructions,
+			CPICore:      core,
+			L2APKI:       l2Stall * 1000 * mlp / L2LatencyCycles,
+			MLP:          mlp,
+			SpecFactor:   1,
+			StallFrac:    0,
+		}
+		if memLatCycles > 0 {
+			p.MemAPKI = memStall * 1000 * mlp / memLatCycles
+		}
+		if p.MemAPKI > p.L2APKI {
+			// Consistency: a miss must have been an access.
+			p.L2APKI = p.MemAPKI
+		}
+		p.MemBPI = p.MemAPKI * 64 / 1000
+		if r.IPC > 0 && r.DPC > r.IPC {
+			p.SpecFactor = r.DPC / r.IPC
+		}
+		if err := p.Validate(); err != nil {
+			return Workload{}, fmt.Errorf("phase: row %d inversion implausible: %w", i, err)
+		}
+		w.Phases = append(w.Phases, p)
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}

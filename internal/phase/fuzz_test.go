@@ -1,0 +1,26 @@
+package phase
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseWorkloadJSON checks the parser never panics and that every
+// accepted workload validates (the parser's contract).
+func FuzzParseWorkloadJSON(f *testing.F) {
+	f.Add(sampleJSON)
+	f.Add(`{"name":"d","phases":[{"name":"p","instructions":1e6,"cpi_core":0.5}]}`)
+	f.Add(`{"name":"idle","phases":[{"name":"z","idle_ms":100}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"name":"x","phases":[{"name":"p","instructions":-1}]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		w, err := ParseWorkloadJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := w.Validate(); verr != nil {
+			t.Fatalf("parser accepted a workload that fails validation: %v\ninput: %s", verr, in)
+		}
+	})
+}

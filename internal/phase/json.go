@@ -1,0 +1,114 @@
+package phase
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// JSON workload definitions let users run custom workloads without
+// recompiling (cmd/aapm-run -workload-file). The schema uses explicit
+// units rather than Go-native encodings:
+//
+//	{
+//	  "name": "custom",
+//	  "iterations": 10,
+//	  "jitter_pct": 0.03,
+//	  "phases": [
+//	    {"name": "compute", "instructions": 2e9, "cpi_core": 0.6,
+//	     "l2_apki": 20, "mem_apki": 2, "mem_bpi": 0.2,
+//	     "mlp": 2, "spec_factor": 1.3, "stall_frac": 0.1},
+//	    {"name": "wait", "idle_ms": 250}
+//	  ]
+//	}
+
+type workloadJSON struct {
+	Name       string      `json:"name"`
+	Iterations int         `json:"iterations,omitempty"`
+	JitterPct  float64     `json:"jitter_pct,omitempty"`
+	Phases     []phaseJSON `json:"phases"`
+}
+
+type phaseJSON struct {
+	Name         string  `json:"name"`
+	Instructions float64 `json:"instructions,omitempty"`
+	IdleMs       float64 `json:"idle_ms,omitempty"`
+	CPICore      float64 `json:"cpi_core,omitempty"`
+	L2APKI       float64 `json:"l2_apki,omitempty"`
+	MemAPKI      float64 `json:"mem_apki,omitempty"`
+	MemBPI       float64 `json:"mem_bpi,omitempty"`
+	MLP          float64 `json:"mlp,omitempty"`
+	SpecFactor   float64 `json:"spec_factor,omitempty"`
+	StallFrac    float64 `json:"stall_frac,omitempty"`
+}
+
+// ParseWorkloadJSON decodes and validates a workload definition.
+// Busy phases default MLP and SpecFactor to 1 when omitted.
+func ParseWorkloadJSON(r io.Reader) (Workload, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var wj workloadJSON
+	if err := dec.Decode(&wj); err != nil {
+		return Workload{}, fmt.Errorf("phase: parsing workload JSON: %w", err)
+	}
+	w := Workload{
+		Name:       wj.Name,
+		Iterations: wj.Iterations,
+		JitterPct:  wj.JitterPct,
+	}
+	for _, pj := range wj.Phases {
+		p := Params{
+			Name:         pj.Name,
+			Instructions: pj.Instructions,
+			IdleDuration: time.Duration(pj.IdleMs * float64(time.Millisecond)),
+			CPICore:      pj.CPICore,
+			L2APKI:       pj.L2APKI,
+			MemAPKI:      pj.MemAPKI,
+			MemBPI:       pj.MemBPI,
+			MLP:          pj.MLP,
+			SpecFactor:   pj.SpecFactor,
+			StallFrac:    pj.StallFrac,
+		}
+		if !p.Idle() {
+			if p.MLP == 0 {
+				p.MLP = 1
+			}
+			if p.SpecFactor == 0 {
+				p.SpecFactor = 1
+			}
+		}
+		w.Phases = append(w.Phases, p)
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}
+
+// WriteJSON encodes the workload in the schema ParseWorkloadJSON
+// accepts.
+func (w Workload) WriteJSON(out io.Writer) error {
+	wj := workloadJSON{
+		Name:       w.Name,
+		Iterations: w.Iterations,
+		JitterPct:  w.JitterPct,
+	}
+	for _, p := range w.Phases {
+		wj.Phases = append(wj.Phases, phaseJSON{
+			Name:         p.Name,
+			Instructions: p.Instructions,
+			IdleMs:       float64(p.IdleDuration) / float64(time.Millisecond),
+			CPICore:      p.CPICore,
+			L2APKI:       p.L2APKI,
+			MemAPKI:      p.MemAPKI,
+			MemBPI:       p.MemBPI,
+			MLP:          p.MLP,
+			SpecFactor:   p.SpecFactor,
+			StallFrac:    p.StallFrac,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wj)
+}

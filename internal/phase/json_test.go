@@ -1,0 +1,92 @@
+package phase
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleJSON = `{
+  "name": "custom",
+  "iterations": 3,
+  "jitter_pct": 0.02,
+  "phases": [
+    {"name": "compute", "instructions": 2e9, "cpi_core": 0.6,
+     "l2_apki": 20, "mem_apki": 2, "mem_bpi": 0.2,
+     "mlp": 2, "spec_factor": 1.3, "stall_frac": 0.1},
+    {"name": "wait", "idle_ms": 250}
+  ]
+}`
+
+func TestParseWorkloadJSON(t *testing.T) {
+	w, err := ParseWorkloadJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "custom" || w.Iterations != 3 || w.JitterPct != 0.02 {
+		t.Errorf("workload header = %+v", w)
+	}
+	if len(w.Phases) != 2 {
+		t.Fatalf("phases = %d", len(w.Phases))
+	}
+	p := w.Phases[0]
+	if p.Instructions != 2e9 || p.CPICore != 0.6 || p.MLP != 2 || p.SpecFactor != 1.3 {
+		t.Errorf("compute phase = %+v", p)
+	}
+	if got := w.Phases[1].IdleDuration; got != 250*time.Millisecond {
+		t.Errorf("idle duration = %v", got)
+	}
+}
+
+func TestParseWorkloadJSONDefaults(t *testing.T) {
+	// MLP and SpecFactor default to 1 for busy phases.
+	in := `{"name":"d","phases":[{"name":"p","instructions":1e6,"cpi_core":0.5}]}`
+	w, err := ParseWorkloadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Phases[0].MLP != 1 || w.Phases[0].SpecFactor != 1 {
+		t.Errorf("defaults not applied: %+v", w.Phases[0])
+	}
+}
+
+func TestParseWorkloadJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `{"name":"x","bogus":1,"phases":[{"name":"p","instructions":1,"cpi_core":1}]}`,
+		"no phases":      `{"name":"x","phases":[]}`,
+		"no name":        `{"phases":[{"name":"p","instructions":1,"cpi_core":1}]}`,
+		"invalid phase":  `{"name":"x","phases":[{"name":"p","instructions":1,"cpi_core":-1}]}`,
+		"malformed json": `{"name":`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseWorkloadJSON(strings.NewReader(in)); err == nil {
+				t.Errorf("accepted %s", in)
+			}
+		})
+	}
+}
+
+func TestWorkloadJSONRoundTrip(t *testing.T) {
+	orig, err := ParseWorkloadJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseWorkloadJSON(&buf)
+	if err != nil {
+		t.Fatalf("re-parsing emitted JSON: %v\n%s", err, buf.String())
+	}
+	if back.Name != orig.Name || len(back.Phases) != len(orig.Phases) {
+		t.Fatalf("round trip changed shape: %+v", back)
+	}
+	for i := range orig.Phases {
+		if back.Phases[i] != orig.Phases[i] {
+			t.Errorf("phase %d: %+v != %+v", i, back.Phases[i], orig.Phases[i])
+		}
+	}
+}

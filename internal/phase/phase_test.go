@@ -1,0 +1,251 @@
+package phase
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aapm/internal/pstate"
+)
+
+func corePhase() Params {
+	return Params{
+		Name: "core", Instructions: 1e9,
+		CPICore: 0.6, L2APKI: 5, MemAPKI: 0.1, MLP: 2, SpecFactor: 1.1, StallFrac: 0.05,
+	}
+}
+
+func memPhase() Params {
+	return Params{
+		Name: "mem", Instructions: 1e9,
+		CPICore: 0.4, L2APKI: 150, MemAPKI: 130, MLP: 4, SpecFactor: 1.3, StallFrac: 0.1,
+	}
+}
+
+func table() *pstate.Table { return pstate.PentiumM755() }
+
+func TestValidateRejectsImplausibleParams(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"negative instructions", func(p *Params) { p.Instructions = -1 }},
+		{"empty phase", func(p *Params) { p.Instructions = 0; p.IdleDuration = 0 }},
+		{"zero core CPI", func(p *Params) { p.CPICore = 0 }},
+		{"negative L2APKI", func(p *Params) { p.L2APKI = -1 }},
+		{"negative MemBPI", func(p *Params) { p.MemBPI = -1 }},
+		{"misses exceed accesses", func(p *Params) { p.MemAPKI = p.L2APKI + 1 }},
+		{"MLP below one", func(p *Params) { p.MLP = 0.5 }},
+		{"spec below one", func(p *Params) { p.SpecFactor = 0.9 }},
+		{"stall above one", func(p *Params) { p.StallFrac = 1.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := corePhase()
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", p)
+			}
+		})
+	}
+	if err := corePhase().Validate(); err != nil {
+		t.Errorf("valid phase rejected: %v", err)
+	}
+	idle := Params{Name: "idle", IdleDuration: time.Second}
+	if err := idle.Validate(); err != nil {
+		t.Errorf("idle phase rejected: %v", err)
+	}
+}
+
+func TestCoreBoundScalesWithFrequency(t *testing.T) {
+	p := corePhase()
+	tab := table()
+	lo := p.At(tab.Min())
+	hi := p.At(tab.Max())
+	// Core-bound: IPC nearly frequency-independent, so performance
+	// (IPC*f) scales close to linearly.
+	if rel := hi.IPC / lo.IPC; rel < 0.97 || rel > 1.0 {
+		t.Errorf("core-bound IPC ratio across frequencies = %g, want ~1", rel)
+	}
+}
+
+func TestMemoryBoundInsensitiveToFrequency(t *testing.T) {
+	p := memPhase()
+	tab := table()
+	loState, _ := tab.ByFreq(1600)
+	hiState, _ := tab.ByFreq(2000)
+	perfLo := p.At(loState).IPC * 1600
+	perfHi := p.At(hiState).IPC * 2000
+	// The paper's swim gains almost nothing from 1600 -> 2000.
+	if gain := perfHi / perfLo; gain > 1.06 {
+		t.Errorf("memory-bound perf gain 1600->2000 = %g, want < 1.06", gain)
+	}
+}
+
+func TestDCUPerInstGrowsWithFrequencyForMemoryBound(t *testing.T) {
+	p := memPhase()
+	tab := table()
+	lo := p.StallPerInst(tab.Min())
+	hi := p.StallPerInst(tab.Max())
+	if hi <= lo {
+		t.Errorf("DCU/IPC did not grow with frequency: %g vs %g", lo, hi)
+	}
+}
+
+func TestBandwidthBoundTakesOver(t *testing.T) {
+	// Latency-light but traffic-heavy phase (prefetched streaming).
+	p := Params{
+		Name: "stream", Instructions: 1e9,
+		CPICore: 0.5, L2APKI: 80, MemAPKI: 0, MemBPI: 8, MLP: 4, SpecFactor: 1.05,
+	}
+	ps := table().Max()
+	b := p.At(ps)
+	// 8 B/instr over 2.7 GB/s at 2 GHz ~= 5.93 cycles/instr floor.
+	if b.CPI < 5 {
+		t.Errorf("bandwidth-bound CPI = %g, want > 5", b.CPI)
+	}
+	// Bus traffic reflects total transfer, not just demand misses.
+	if b.MemPC <= 0 {
+		t.Error("bandwidth-bound phase shows no bus traffic")
+	}
+}
+
+func TestBehaviorInvariants(t *testing.T) {
+	tab := table()
+	for _, p := range []Params{corePhase(), memPhase()} {
+		for i := 0; i < tab.Len(); i++ {
+			b := p.At(tab.At(i))
+			if b.IPC <= 0 || b.CPI <= 0 {
+				t.Fatalf("%s@%v: non-positive rates %+v", p.Name, tab.At(i), b)
+			}
+			if math.Abs(b.IPC*b.CPI-1) > 1e-9 {
+				t.Errorf("%s@%v: IPC*CPI = %g", p.Name, tab.At(i), b.IPC*b.CPI)
+			}
+			if b.DCU < 0 || b.DCU > 0.98 {
+				t.Errorf("%s@%v: DCU = %g out of range", p.Name, tab.At(i), b.DCU)
+			}
+			if b.DPC < b.IPC {
+				t.Errorf("%s@%v: DPC %g below IPC %g", p.Name, tab.At(i), b.DPC, b.IPC)
+			}
+			if b.StallPC > 1 {
+				t.Errorf("%s@%v: StallPC = %g", p.Name, tab.At(i), b.StallPC)
+			}
+		}
+	}
+}
+
+func TestIdlePhaseBehavior(t *testing.T) {
+	p := Params{Name: "idle", IdleDuration: 2 * time.Second}
+	if !p.Idle() {
+		t.Fatal("idle phase not idle")
+	}
+	if b := p.At(table().Max()); b != (Behavior{}) {
+		t.Errorf("idle behavior = %+v, want zero", b)
+	}
+	if got := p.TimeAt(table().Max()); got != 2*time.Second {
+		t.Errorf("idle TimeAt = %v, want 2s", got)
+	}
+	if p.StallPerInst(table().Max()) != 0 {
+		t.Error("idle StallPerInst != 0")
+	}
+}
+
+func TestTimeAtConsistentWithBehavior(t *testing.T) {
+	p := corePhase()
+	ps := table().Max()
+	b := p.At(ps)
+	want := p.Instructions * b.CPI / ps.FreqHz()
+	got := p.TimeAt(ps).Seconds()
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("TimeAt = %gs, want %gs", got, want)
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := Workload{Name: "w", Phases: []Params{corePhase()}}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	if err := (Workload{Phases: []Params{corePhase()}}).Validate(); err == nil {
+		t.Error("unnamed workload accepted")
+	}
+	if err := (Workload{Name: "w"}).Validate(); err == nil {
+		t.Error("phase-less workload accepted")
+	}
+	bad := corePhase()
+	bad.MLP = 0
+	if err := (Workload{Name: "w", Phases: []Params{bad}}).Validate(); err == nil {
+		t.Error("workload with invalid phase accepted")
+	}
+	if err := (Workload{Name: "w", Phases: []Params{corePhase()}, JitterPct: 0.9}).Validate(); err == nil {
+		t.Error("excessive jitter accepted")
+	}
+}
+
+func TestWorkloadTotals(t *testing.T) {
+	w := Workload{
+		Name:       "w",
+		Phases:     []Params{corePhase(), memPhase()},
+		Iterations: 3,
+	}
+	if got := w.Repeats(); got != 3 {
+		t.Errorf("Repeats = %d", got)
+	}
+	if got, want := w.TotalInstructions(), 6e9; got != want {
+		t.Errorf("TotalInstructions = %g, want %g", got, want)
+	}
+	ps := table().Max()
+	perIter := corePhase().TimeAt(ps) + memPhase().TimeAt(ps)
+	if got, want := w.TimeAt(ps), 3*perIter; got != want {
+		t.Errorf("TimeAt = %v, want %v", got, want)
+	}
+	if (Workload{Name: "w", Phases: []Params{corePhase()}}).Repeats() != 1 {
+		t.Error("zero Iterations should mean 1")
+	}
+}
+
+func TestAvgIPCAt(t *testing.T) {
+	w := Workload{Name: "w", Phases: []Params{corePhase()}}
+	ps := table().Max()
+	want := corePhase().At(ps).IPC
+	if got := w.AvgIPCAt(ps); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AvgIPCAt = %g, want %g", got, want)
+	}
+	idle := Workload{Name: "i", Phases: []Params{{Name: "z", IdleDuration: time.Second}}}
+	if got := idle.AvgIPCAt(ps); got != 0 {
+		t.Errorf("idle AvgIPCAt = %g, want 0", got)
+	}
+}
+
+// Property: raising frequency never reduces performance (IPC*f) and
+// never increases IPC for any valid phase.
+func TestFrequencyMonotonicity(t *testing.T) {
+	tab := table()
+	f := func(cpi8, l2a8, mem8, mlp8, spec8 uint8) bool {
+		p := Params{
+			Name: "q", Instructions: 1e6,
+			CPICore:    0.3 + float64(cpi8)/128,
+			L2APKI:     float64(l2a8),
+			MLP:        1 + float64(mlp8)/32,
+			SpecFactor: 1 + float64(spec8)/256,
+		}
+		p.MemAPKI = math.Min(float64(mem8), p.L2APKI)
+		if err := p.Validate(); err != nil {
+			return true
+		}
+		prevPerf, prevIPC := 0.0, math.Inf(1)
+		for i := 0; i < tab.Len(); i++ {
+			b := p.At(tab.At(i))
+			perf := b.IPC * float64(tab.At(i).FreqMHz)
+			if perf < prevPerf-1e-9 || b.IPC > prevIPC+1e-9 {
+				return false
+			}
+			prevPerf, prevIPC = perf, b.IPC
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

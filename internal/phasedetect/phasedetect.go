@@ -1,0 +1,86 @@
+// Package phasedetect provides a small online phase-change detector
+// over counter-rate series.
+//
+// The paper's PM deliberately waits 100 ms of consistent samples
+// before raising frequency "to minimize power-limit violations during
+// difficult-to-predict periods of workload behavior". A detector that
+// recognizes when the workload has switched to a genuinely different
+// regime lets a policy treat the new regime as fresh evidence instead
+// of waiting out the full hysteresis — the classic phase-tracking idea
+// the paper's continuous-monitoring philosophy invites.
+package phasedetect
+
+import "fmt"
+
+// Detector compares the means of two adjacent sliding windows of the
+// observed rate; when they differ by more than a relative threshold it
+// reports a phase change, then holds off for a window to avoid
+// retriggering on the same edge.
+type Detector struct {
+	win      int
+	relDelta float64
+	buf      []float64
+	n        int
+	cooldown int
+
+	changes uint64
+}
+
+// New builds a detector with the given window length (samples) and
+// relative mean-shift threshold (e.g. 0.25 = 25%).
+func New(window int, relDelta float64) (*Detector, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("phasedetect: window %d too small", window)
+	}
+	if relDelta <= 0 {
+		return nil, fmt.Errorf("phasedetect: non-positive threshold %g", relDelta)
+	}
+	return &Detector{
+		win:      window,
+		relDelta: relDelta,
+		buf:      make([]float64, 0, 2*window),
+	}, nil
+}
+
+// Changes returns the number of phase changes reported so far.
+func (d *Detector) Changes() uint64 { return d.changes }
+
+// Observe consumes the next sample and reports whether a phase change
+// was detected at this sample.
+func (d *Detector) Observe(x float64) bool {
+	if len(d.buf) < 2*d.win {
+		d.buf = append(d.buf, x)
+	} else {
+		copy(d.buf, d.buf[1:])
+		d.buf[len(d.buf)-1] = x
+	}
+	d.n++
+	if d.cooldown > 0 {
+		d.cooldown--
+		return false
+	}
+	if len(d.buf) < 2*d.win {
+		return false
+	}
+	var older, newer float64
+	for i := 0; i < d.win; i++ {
+		older += d.buf[i]
+		newer += d.buf[d.win+i]
+	}
+	older /= float64(d.win)
+	newer /= float64(d.win)
+	base := older
+	if base < 1e-9 {
+		base = 1e-9
+	}
+	diff := newer - older
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff/base >= d.relDelta {
+		d.changes++
+		d.cooldown = d.win
+		return true
+	}
+	return false
+}

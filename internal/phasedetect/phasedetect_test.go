@@ -1,0 +1,79 @@
+package phasedetect
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 0.2); err == nil {
+		t.Error("window 1 accepted")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestDetectsStepChange(t *testing.T) {
+	d, err := New(4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := -1
+	for i := 0; i < 40; i++ {
+		x := 1.0
+		if i >= 20 {
+			x = 2.0
+		}
+		if d.Observe(x) && fired < 0 {
+			fired = i
+		}
+	}
+	if fired < 20 || fired > 28 {
+		t.Errorf("step at 20 detected at %d", fired)
+	}
+	if d.Changes() == 0 {
+		t.Error("no change counted")
+	}
+}
+
+func TestIgnoresSteadySignal(t *testing.T) {
+	d, _ := New(4, 0.25)
+	for i := 0; i < 100; i++ {
+		if d.Observe(1.0 + 0.01*float64(i%3)) {
+			t.Fatalf("false positive at %d", i)
+		}
+	}
+}
+
+func TestCooldownPreventsRetriggering(t *testing.T) {
+	d, _ := New(4, 0.25)
+	count := 0
+	for i := 0; i < 40; i++ {
+		x := 1.0
+		if i >= 10 {
+			x = 3.0
+		}
+		if d.Observe(x) {
+			count++
+		}
+	}
+	// One edge: at most two reports (the edge sweeping through both
+	// windows can legitimately fire once more after cooldown).
+	if count == 0 || count > 2 {
+		t.Errorf("edge reported %d times", count)
+	}
+}
+
+func TestZeroBaselineHandled(t *testing.T) {
+	d, _ := New(3, 0.5)
+	for i := 0; i < 6; i++ {
+		d.Observe(0)
+	}
+	if !d.Observe(1.0) {
+		// The shift from zero is far above threshold once windows fill.
+		for i := 0; i < 3; i++ {
+			if d.Observe(1.0) {
+				return
+			}
+		}
+		t.Error("shift from zero baseline never detected")
+	}
+}

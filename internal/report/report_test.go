@@ -1,0 +1,34 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"aapm/internal/experiment"
+)
+
+func TestGenerate(t *testing.T) {
+	ctx, err := experiment.NewContext(experiment.Options{Seed: 7, ScaleDown: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Generate(ctx, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# Application-Aware Power Management",
+		"Figure 1", "Figure 2", "Table II", "Table IV",
+		"Figure 7", "Figure 9", "Figure 11",
+		"galgel", "possible speedup",
+		"| 17.5 | 1800 | 1800 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(out) < 2000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}

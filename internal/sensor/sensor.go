@@ -1,0 +1,140 @@
+// Package sensor simulates the paper's power-measurement apparatus: a
+// Radisys board with high-precision sense resistors between the
+// voltage regulators and the processor, feeding a National Instruments
+// SCXI-1125 + PCI-6052E data-acquisition chain, plus the 3.3 V GPIO
+// the authors toggle to synchronize workload execution with the
+// acquired samples.
+//
+// The simulated chain converts true power (package power) into the
+// measured samples the evaluation sees: shunt + amplifier gain error,
+// additive noise, and ADC quantization. Tests can use Ideal for exact
+// readings.
+package sensor
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Chain models the analog front end and digitizer.
+type Chain struct {
+	// GainError is the multiplicative calibration error of the
+	// shunt/amplifier path (e.g. 0.01 = reads 1% high).
+	GainError float64
+	// NoiseStdW is the standard deviation of additive Gaussian noise
+	// per sample, in watts.
+	NoiseStdW float64
+	// QuantStepW is the ADC quantization step in watts.
+	QuantStepW float64
+}
+
+// Ideal returns a noiseless, perfectly calibrated chain.
+func Ideal() Chain { return Chain{} }
+
+// NIDefault returns the default chain calibrated to the paper's setup:
+// a 16-bit DAQ over a ~30 W full-scale range gives sub-milliwatt
+// quantization; board-level noise dominates at a few tens of
+// milliwatts.
+func NIDefault() Chain {
+	return Chain{
+		GainError:  0.002,
+		NoiseStdW:  0.04,
+		QuantStepW: 0.001,
+	}
+}
+
+// Validate reports implausible chain parameters.
+func (c Chain) Validate() error {
+	switch {
+	case c.GainError < -0.5 || c.GainError > 0.5:
+		return fmt.Errorf("sensor: gain error %g outside [-0.5,0.5]", c.GainError)
+	case c.NoiseStdW < 0:
+		return fmt.Errorf("sensor: negative noise")
+	case c.QuantStepW < 0:
+		return fmt.Errorf("sensor: negative quantization step")
+	}
+	return nil
+}
+
+// Measure converts a true power value into one measured sample. rng
+// supplies the noise; a nil rng yields the noise-free reading.
+func (c Chain) Measure(trueW float64, rng *rand.Rand) float64 {
+	v := trueW * (1 + c.GainError)
+	if rng != nil && c.NoiseStdW > 0 {
+		v += rng.NormFloat64() * c.NoiseStdW
+	}
+	if c.QuantStepW > 0 {
+		steps := v / c.QuantStepW
+		v = float64(int64(steps+0.5)) * c.QuantStepW
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Sample is one acquired power reading.
+type Sample struct {
+	T      time.Duration
+	PowerW float64
+}
+
+// Marker is a GPIO edge used to synchronize workload execution with
+// the acquisition stream.
+type Marker struct {
+	T      time.Duration
+	Label  string
+	Rising bool
+}
+
+// Recorder accumulates the acquisition stream of one session.
+type Recorder struct {
+	samples []Sample
+	markers []Marker
+}
+
+// Record appends one power sample.
+func (r *Recorder) Record(t time.Duration, powerW float64) {
+	r.samples = append(r.samples, Sample{T: t, PowerW: powerW})
+}
+
+// Mark appends a GPIO edge.
+func (r *Recorder) Mark(t time.Duration, label string, rising bool) {
+	r.markers = append(r.markers, Marker{T: t, Label: label, Rising: rising})
+}
+
+// Samples returns the acquired samples in time order.
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// Markers returns the GPIO edges in time order.
+func (r *Recorder) Markers() []Marker { return r.markers }
+
+// Between returns the samples acquired between the rising and falling
+// edges of the marker with the given label, mirroring how the paper
+// crops acquisition data to one benchmark run.
+func (r *Recorder) Between(label string) ([]Sample, error) {
+	var start, end time.Duration
+	var haveStart, haveEnd bool
+	for _, m := range r.markers {
+		if m.Label != label {
+			continue
+		}
+		if m.Rising && !haveStart {
+			start, haveStart = m.T, true
+		}
+		if !m.Rising && haveStart && !haveEnd {
+			end, haveEnd = m.T, true
+		}
+	}
+	if !haveStart || !haveEnd {
+		return nil, fmt.Errorf("sensor: no complete marker pair %q", label)
+	}
+	var out []Sample
+	for _, s := range r.samples {
+		if s.T >= start && s.T <= end {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

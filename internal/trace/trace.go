@@ -1,0 +1,174 @@
+// Package trace records the per-interval time series of a platform
+// run: p-state, counter rates, true and measured power. Experiments
+// consume runs to compute the paper's tables and figures; the package
+// also renders compact CSV and ASCII-chart views of a run.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"aapm/internal/stats"
+)
+
+// Row is one monitoring interval.
+type Row struct {
+	// T is the interval start; Interval its length.
+	T        time.Duration
+	Interval time.Duration
+	// FreqMHz is the p-state frequency active during the interval.
+	FreqMHz int
+	// Counter-derived activity rates for the interval.
+	DPC, IPC, DCU, L2PC, MemPC float64
+	// TruePowerW is the ground-truth average power; MeasuredPowerW is
+	// what the sensing chain reported.
+	TruePowerW     float64
+	MeasuredPowerW float64
+	// Instructions retired during the interval.
+	Instructions float64
+	// Phase labels the workload phase active at interval end.
+	Phase string
+	// TempC is the thermal sensor reading at interval end (0 when the
+	// platform has no thermal model).
+	TempC float64
+	// Duty is the clock-modulation duty cycle the interval ran at
+	// (1 when no throttling governor is active).
+	Duty float64
+}
+
+// Run is a complete workload execution under one policy.
+type Run struct {
+	Workload string
+	Policy   string
+	Rows     []Row
+
+	// Duration is total wall-clock (virtual) time.
+	Duration time.Duration
+	// Instructions is total retired instructions.
+	Instructions float64
+	// EnergyJ integrates true power; MeasuredEnergyJ integrates the
+	// measured samples the way the paper computes energy.
+	EnergyJ         float64
+	MeasuredEnergyJ float64
+	// Transitions counts p-state changes the policy made.
+	Transitions int
+}
+
+// AvgPowerW returns time-weighted average true power.
+func (r *Run) AvgPowerW() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return r.EnergyJ / r.Duration.Seconds()
+}
+
+// IPS returns average instructions per second (the paper's performance
+// metric is total execution time; IPS is its reciprocal scaled by
+// work, convenient for cross-run comparison).
+func (r *Run) IPS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return r.Instructions / r.Duration.Seconds()
+}
+
+// EDP returns the energy-delay product (J·s) from true energy — the
+// standard efficiency metric weighing savings against slowdown.
+func (r *Run) EDP() float64 {
+	return r.EnergyJ * r.Duration.Seconds()
+}
+
+// ED2P returns the energy-delay-squared product (J·s²), which weighs
+// performance more heavily (appropriate when voltage scaling is the
+// lever, since energy falls superlinearly with frequency).
+func (r *Run) ED2P() float64 {
+	d := r.Duration.Seconds()
+	return r.EnergyJ * d * d
+}
+
+// MeasuredPowers returns the per-interval measured power series.
+func (r *Run) MeasuredPowers() []float64 {
+	out := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row.MeasuredPowerW
+	}
+	return out
+}
+
+// TruePowers returns the per-interval true power series.
+func (r *Run) TruePowers() []float64 {
+	out := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row.TruePowerW
+	}
+	return out
+}
+
+// Freqs returns the per-interval frequency series in MHz.
+func (r *Run) Freqs() []float64 {
+	out := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = float64(row.FreqMHz)
+	}
+	return out
+}
+
+// MovingAvg returns the moving average of xs over window w (the
+// paper's power-limit adherence metric uses w=10 over 10 ms samples).
+func MovingAvg(xs []float64, w int) []float64 {
+	if w <= 1 || len(xs) == 0 {
+		out := make([]float64, len(xs))
+		copy(out, xs)
+		return out
+	}
+	out := make([]float64, 0, len(xs))
+	win := stats.NewWindow(w)
+	for _, x := range xs {
+		win.Push(x)
+		out = append(out, win.Mean())
+	}
+	return out
+}
+
+// FractionAbove returns the fraction of xs strictly above limit.
+func FractionAbove(xs []float64, limit float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Temps returns the per-interval thermal sensor series.
+func (r *Run) Temps() []float64 {
+	out := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row.TempC
+	}
+	return out
+}
+
+// WriteCSV emits the run as CSV with a header row.
+func (r *Run) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t_ms,interval_ms,freq_mhz,dpc,ipc,dcu,l2pc,mempc,true_w,meas_w,instructions,phase,temp_c,duty"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		_, err := fmt.Fprintf(w, "%.1f,%.1f,%d,%.4f,%.4f,%.4f,%.5f,%.5f,%.3f,%.3f,%.0f,%s,%.1f,%.3f\n",
+			float64(row.T)/float64(time.Millisecond),
+			float64(row.Interval)/float64(time.Millisecond),
+			row.FreqMHz, row.DPC, row.IPC, row.DCU, row.L2PC, row.MemPC,
+			row.TruePowerW, row.MeasuredPowerW, row.Instructions, row.Phase,
+			row.TempC, row.Duty)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
