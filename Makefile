@@ -1,0 +1,34 @@
+# Tier-1 gate (what CI must keep green): build + full test suite.
+.PHONY: test
+test:
+	go build ./...
+	go test ./...
+
+# Full suite under the race detector (the session loop, experiment
+# parallelism and cluster lockstep all share state on purpose).
+.PHONY: race
+race:
+	go test -race ./...
+
+.PHONY: vet
+vet:
+	go vet ./...
+
+# Every fuzz target for a short burst each; lengthen -fuzztime for a
+# real campaign. Go allows one -fuzz target per package invocation.
+FUZZTIME ?= 10s
+.PHONY: fuzz-short
+fuzz-short:
+	go test ./internal/control -fuzz FuzzGovernorDecisions -fuzztime $(FUZZTIME)
+	go test ./internal/control -fuzz FuzzParseGovernorSpec -fuzztime $(FUZZTIME)
+	go test ./internal/faults -fuzz FuzzFaultPlan -fuzztime $(FUZZTIME)
+	go test ./internal/trace -fuzz FuzzReadCSV -fuzztime $(FUZZTIME)
+	go test ./internal/phase -fuzz FuzzParseWorkloadJSON -fuzztime $(FUZZTIME)
+
+# Refresh the golden trace fixtures after an intentional trace change.
+.PHONY: golden-update
+golden-update:
+	go test -run TestGolden -update .
+
+.PHONY: all
+all: vet test race

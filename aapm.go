@@ -25,6 +25,7 @@ package aapm
 import (
 	"aapm/internal/cluster"
 	"aapm/internal/control"
+	"aapm/internal/faults"
 	"aapm/internal/machine"
 	"aapm/internal/mixes"
 	"aapm/internal/model"
@@ -179,6 +180,31 @@ type ClusterResult = cluster.Result
 // RunCluster co-simulates several machines under one power budget; see
 // internal/cluster for the coordinator's water-filling policy.
 func RunCluster(cfg ClusterConfig) (*ClusterResult, error) { return cluster.Run(cfg) }
+
+// FaultPlan composes sensor, counter and actuator fault injection for
+// a platform; pass its address in PlatformConfig.Faults. Faults
+// corrupt only what governors observe, never the ground-truth physics.
+type FaultPlan = faults.Plan
+
+// SensorFaultPlan describes measured-power faults (dropout, stuck-at,
+// spikes, gain drift).
+type SensorFaultPlan = faults.SensorPlan
+
+// CounterFaultPlan describes PMU sample faults (missed reads, 32-bit
+// wrap, saturation).
+type CounterFaultPlan = faults.CounterPlan
+
+// ActuatorFaultPlan describes p-state transition faults (failures,
+// retries, latency jitter).
+type ActuatorFaultPlan = faults.ActuatorPlan
+
+// Degradation is one entry in a run's degradation log: an injected
+// fault or a governor's graceful-degradation response.
+type Degradation = trace.Degradation
+
+// FaultPreset returns a balanced fault plan exercising every fault
+// class at the given base per-interval rate (e.g. 0.05).
+func FaultPreset(rate float64) FaultPlan { return faults.Preset(rate) }
 
 // WorkloadFromTrace inverts a recorded run into a replayable workload —
 // the record-and-replay workflow for evaluating policies offline from

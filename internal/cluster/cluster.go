@@ -181,18 +181,13 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// reallocate water-fills the budget over the nodes' desires: each
-// active node asks for the (feedback-corrected) power it would need to
-// run the top p-state at its recent decode rate; everyone receives
-// min(desire, level) where the common level spends the whole budget.
-// Finished nodes release their share. Desires below the floor clamp up
-// so no node starves.
+// reallocate redistributes the budget over the active nodes' desires:
+// each active node asks for the (feedback-corrected) power it would
+// need to run the top p-state at its recent decode rate. Finished
+// nodes release their share.
 func reallocate(budget, floor float64, table *pstate.Table, sessions []*machine.Session, pms []*control.PerformanceMaximizer) {
-	type nodeDemand struct {
-		i      int
-		desire float64
-	}
-	var active []nodeDemand
+	var idx []int
+	var desires []float64
 	for i, s := range sessions {
 		if s.Done() {
 			continue
@@ -203,42 +198,66 @@ func reallocate(budget, floor float64, table *pstate.Table, sessions []*machine.
 			// intensity jitter from tripping a tightly fitted limit.
 			desire = pms[i].BudgetDesireW(table, row.DPC) + 0.5
 		}
-		if desire < floor {
-			desire = floor
-		}
-		active = append(active, nodeDemand{i: i, desire: desire})
+		idx = append(idx, i)
+		desires = append(desires, desire)
 	}
-	if len(active) == 0 {
+	if len(idx) == 0 {
 		return
 	}
-	sort.Slice(active, func(a, b int) bool { return active[a].desire < active[b].desire })
+	limits := waterfill(budget, floor, desires)
+	for k, i := range idx {
+		pms[i].SetLimit(limits[k])
+		if debugHook != nil {
+			debugHook(i, desires[k], limits[k])
+		}
+	}
+}
 
-	// Find the water level: satisfy the cheapest desires fully and
-	// split what remains evenly among the rest.
+// waterfill computes per-node power limits from the nodes' desires:
+// everyone receives min(desire, level) where the common water level
+// spends the whole budget — the cheapest desires are satisfied fully
+// and what remains splits evenly among the rest. Desires below the
+// floor clamp up so no node starves. Provided floor*len(desires) <=
+// budget, the returned limits sum to at most budget.
+func waterfill(budget, floor float64, desires []float64) []float64 {
+	n := len(desires)
+	limits := make([]float64, n)
+	if n == 0 {
+		return limits
+	}
+	clamped := make([]float64, n)
+	for i, d := range desires {
+		if d < floor {
+			d = floor
+		}
+		clamped[i] = d
+	}
+	sorted := make([]float64, n)
+	copy(sorted, clamped)
+	sort.Float64s(sorted)
+
 	remaining := budget
 	level := 0.0
-	for k, nd := range active {
-		evenShare := remaining / float64(len(active)-k)
-		if nd.desire >= evenShare {
+	for k, d := range sorted {
+		evenShare := remaining / float64(n-k)
+		if d >= evenShare {
 			level = evenShare
 			break
 		}
-		remaining -= nd.desire
-		level = nd.desire // all remaining nodes satisfied
+		remaining -= d
+		level = d // all remaining nodes satisfied
 	}
-	for _, nd := range active {
-		limit := nd.desire
+	for i, d := range clamped {
+		limit := d
 		if limit > level {
 			limit = level
 		}
 		if limit < floor {
 			limit = floor
 		}
-		pms[nd.i].SetLimit(limit)
-		if debugHook != nil {
-			debugHook(nd.i, nd.desire, limit)
-		}
+		limits[i] = limit
 	}
+	return limits
 }
 
 // debugHook, when set by tests, receives each reallocation decision.

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: water-filling never over-commits the shared budget
+// (whenever the floor is coverable), never starves a node below the
+// floor, and never hands a node more than it asked for.
+func TestPropertyWaterfillRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(12)
+		floor := 1 + rng.Float64()*5
+		// Budget always covers the floor (Run rejects the rest).
+		budget := floor*float64(n) + rng.Float64()*100
+		desires := make([]float64, n)
+		for i := range desires {
+			desires[i] = rng.Float64() * 30
+		}
+		limits := waterfill(budget, floor, desires)
+		if len(limits) != n {
+			t.Fatalf("trial %d: %d limits for %d nodes", trial, len(limits), n)
+		}
+		var sum float64
+		for i, l := range limits {
+			sum += l
+			if l < floor-1e-9 {
+				t.Fatalf("trial %d: node %d limit %.4f below floor %.4f", trial, i, l, floor)
+			}
+			want := desires[i]
+			if want < floor {
+				want = floor
+			}
+			if l > want+1e-9 {
+				t.Fatalf("trial %d: node %d limit %.4f above clamped desire %.4f", trial, i, l, want)
+			}
+		}
+		if sum > budget+1e-6 {
+			t.Fatalf("trial %d: limits sum %.6f exceed budget %.6f (floor %.3f, n %d, desires %v)",
+				trial, sum, budget, floor, n, desires)
+		}
+	}
+}
+
+// When the budget covers every desire, everyone gets exactly what they
+// asked for (clamped to the floor).
+func TestWaterfillSatisfiesAllWhenAmple(t *testing.T) {
+	desires := []float64{5, 12, 8.5, 3}
+	limits := waterfill(100, 4, desires)
+	want := []float64{5, 12, 8.5, 4}
+	for i := range want {
+		if limits[i] != want[i] {
+			t.Fatalf("limits = %v, want %v", limits, want)
+		}
+	}
+}
+
+// When everyone wants more than an even share, the level is exactly
+// budget/n.
+func TestWaterfillEvenSplitUnderUniformPressure(t *testing.T) {
+	limits := waterfill(30, 4, []float64{20, 25, 30})
+	for i, l := range limits {
+		if diff := l - 10; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("node %d limit %.6f, want 10", i, l)
+		}
+	}
+}
+
+func TestWaterfillEmpty(t *testing.T) {
+	if got := waterfill(10, 1, nil); len(got) != 0 {
+		t.Fatalf("waterfill(nil) = %v", got)
+	}
+}

@@ -18,10 +18,12 @@ package control
 
 import (
 	"fmt"
+	"math"
 
 	"aapm/internal/machine"
 	"aapm/internal/model"
 	"aapm/internal/pstate"
+	"aapm/internal/trace"
 )
 
 // StaticClock pins one p-state for the whole run — the paper's
@@ -76,6 +78,19 @@ type PMConfig struct {
 	// power estimate for lower frequencies is too optimistic for
 	// memory-bound work.
 	DisableDPCProjection bool
+	// Degrade enables graceful degradation under faulted inputs:
+	// implausible counter samples (wrapped deltas, counts without
+	// cycles) evaluate at the last good decode rate instead of
+	// garbage, and while the power sensor is unreadable
+	// (NaN/Inf/non-positive readings) the guardband widens by
+	// DegradeGuardbandW and the feedback correction holds its last
+	// good value. Degradation decisions are logged and surfaced in
+	// trace.Run via the machine's DegradationReporter hook.
+	Degrade bool
+	// DegradeGuardbandW is the extra guardband applied while the
+	// sensor is unreadable; 0 selects DefaultDegradeGuardbandW. Only
+	// meaningful with Degrade.
+	DegradeGuardbandW float64
 }
 
 // DefaultGuardbandW is the paper's 0.5 W estimation guardband.
@@ -84,6 +99,19 @@ const DefaultGuardbandW = 0.5
 // DefaultRaiseTicks is the paper's 100 ms of consecutive 10 ms samples.
 const DefaultRaiseTicks = 10
 
+// DefaultDegradeGuardbandW is the extra guardband a degraded PM
+// applies while its power sensor is unreadable: twice the normal
+// guardband, covering the estimation error the measured-power loop
+// can no longer observe.
+const DefaultDegradeGuardbandW = 1.0
+
+// sensorReadingOK reports whether a measured-power sample is usable:
+// finite and positive (a live platform always draws power; NaN marks
+// a dropped acquisition, zero a dead channel).
+func sensorReadingOK(w float64) bool {
+	return !math.IsNaN(w) && !math.IsInf(w, 0) && w > 0
+}
+
 // PerformanceMaximizer implements the PM policy.
 type PerformanceMaximizer struct {
 	cfg       PMConfig
@@ -91,6 +119,14 @@ type PerformanceMaximizer struct {
 	pendingUp int
 	// corr is the feedback correction factor (1 = trust the model).
 	corr float64
+
+	// Graceful-degradation state (cfg.Degrade).
+	lastGoodDPC float64
+	lastDPC     float64 // decode rate the last tick evaluated
+	lastGB      float64 // guardband the last tick applied
+	inDropout   bool
+	inHold      bool
+	degr        []trace.Degradation
 }
 
 // NewPerformanceMaximizer builds a PM with the given configuration.
@@ -113,15 +149,25 @@ func NewPerformanceMaximizer(cfg PMConfig) (*PerformanceMaximizer, error) {
 	if cfg.FeedbackGain < 0 || cfg.FeedbackGain > 1 {
 		return nil, fmt.Errorf("control: PM feedback gain %g outside [0,1]", cfg.FeedbackGain)
 	}
-	return &PerformanceMaximizer{cfg: cfg, limitW: cfg.LimitW, corr: 1}, nil
+	if cfg.DegradeGuardbandW < 0 || math.IsNaN(cfg.DegradeGuardbandW) {
+		return nil, fmt.Errorf("control: PM degrade guardband %g negative", cfg.DegradeGuardbandW)
+	}
+	if cfg.Degrade && cfg.DegradeGuardbandW == 0 {
+		cfg.DegradeGuardbandW = DefaultDegradeGuardbandW
+	}
+	return &PerformanceMaximizer{cfg: cfg, limitW: cfg.LimitW, corr: 1, lastGB: cfg.GuardbandW}, nil
 }
 
 // Name identifies the policy in traces.
 func (pm *PerformanceMaximizer) Name() string {
-	if pm.cfg.FeedbackGain > 0 {
-		return fmt.Sprintf("PM+fb(%.1fW)", pm.limitW)
+	suffix := ""
+	if pm.cfg.Degrade {
+		suffix = "+dg"
 	}
-	return fmt.Sprintf("PM(%.1fW)", pm.limitW)
+	if pm.cfg.FeedbackGain > 0 {
+		return fmt.Sprintf("PM+fb%s(%.1fW)", suffix, pm.limitW)
+	}
+	return fmt.Sprintf("PM%s(%.1fW)", suffix, pm.limitW)
 }
 
 // SetLimit changes the power limit, effective at the next tick — the
@@ -146,11 +192,46 @@ func (pm *PerformanceMaximizer) Limit() float64 { return pm.limitW }
 // Tick chooses the highest p-state whose corrected power estimate,
 // plus guardband, fits the limit. Down-shifts apply immediately;
 // up-shifts wait for RaiseTicks consecutive supporting samples.
+//
+// With cfg.Degrade, faulted inputs degrade the policy gracefully
+// instead of corrupting it: an implausible counter sample evaluates
+// at the last good decode rate, and while the sensor is unreadable
+// the guardband widens by cfg.DegradeGuardbandW and the feedback
+// correction freezes at its last good value.
 func (pm *PerformanceMaximizer) Tick(info machine.TickInfo) int {
 	dpc := info.Sample.DPC()
-	if pm.cfg.FeedbackGain > 0 {
+	counterOK := !info.Sample.Implausible() && !math.IsNaN(dpc) && !math.IsInf(dpc, 0) && dpc >= 0
+	if pm.cfg.Degrade {
+		if counterOK {
+			pm.lastGoodDPC = dpc
+			if pm.inHold {
+				pm.inHold = false
+				pm.note("pm", "counters-restored", "")
+			}
+		} else {
+			dpc = pm.lastGoodDPC
+			if !pm.inHold {
+				pm.inHold = true
+				pm.note("pm", "hold-dpc", fmt.Sprintf("implausible sample; evaluating at last good DPC %.3f", dpc))
+			}
+		}
+	}
+	sensorOK := sensorReadingOK(info.MeasuredPowerW)
+	gb := pm.cfg.GuardbandW
+	if pm.cfg.Degrade && !sensorOK {
+		gb += pm.cfg.DegradeGuardbandW
+		if !pm.inDropout {
+			pm.inDropout = true
+			pm.note("pm", "sensor-dropout", fmt.Sprintf("guardband widened to %.2f W; feedback frozen", gb))
+		}
+	} else if pm.inDropout {
+		pm.inDropout = false
+		pm.note("pm", "sensor-restored", "")
+	}
+	pm.lastGB = gb
+	if pm.cfg.FeedbackGain > 0 && sensorOK {
 		est := pm.corr * pm.cfg.Model.Estimate(info.PStateIndex, dpc)
-		if est > 0 && info.MeasuredPowerW > 0 {
+		if est > 0 {
 			g := pm.cfg.FeedbackGain
 			pm.corr *= 1 + g*(info.MeasuredPowerW/est-1)
 			if pm.corr < 0.5 {
@@ -161,6 +242,7 @@ func (pm *PerformanceMaximizer) Tick(info machine.TickInfo) int {
 			}
 		}
 	}
+	pm.lastDPC = dpc
 	want := 0
 	for i := info.Table.Len() - 1; i >= 0; i-- {
 		var est float64
@@ -169,7 +251,7 @@ func (pm *PerformanceMaximizer) Tick(info machine.TickInfo) int {
 		} else {
 			est = pm.cfg.Model.EstimateAt(i, dpc, info.PState.FreqMHz)
 		}
-		est = pm.corr*est + pm.cfg.GuardbandW
+		est = pm.corr*est + gb
 		if est <= pm.limitW {
 			want = i
 			break
@@ -192,6 +274,29 @@ func (pm *PerformanceMaximizer) Tick(info machine.TickInfo) int {
 	}
 }
 
+// note records a degradation event for the machine to drain. Events
+// carry no timestamp; the machine stamps virtual time when draining.
+func (pm *PerformanceMaximizer) note(source, kind, detail string) {
+	pm.degr = append(pm.degr, trace.Degradation{Source: source, Kind: kind, Detail: detail})
+}
+
+// DrainDegradations returns and clears degradation events recorded
+// since the last drain (machine.DegradationReporter).
+func (pm *PerformanceMaximizer) DrainDegradations() []trace.Degradation {
+	d := pm.degr
+	pm.degr = nil
+	return d
+}
+
+// EffectiveGuardbandW returns the guardband the most recent tick
+// applied — cfg.GuardbandW, widened by cfg.DegradeGuardbandW while a
+// degraded PM's sensor is unreadable.
+func (pm *PerformanceMaximizer) EffectiveGuardbandW() float64 { return pm.lastGB }
+
+// LastEvalDPC returns the decode rate the most recent tick evaluated
+// the power model at (the held last-good value during a counter hold).
+func (pm *PerformanceMaximizer) LastEvalDPC() float64 { return pm.lastDPC }
+
 // BudgetDesireW returns the power limit this PM would need to run the
 // platform's top p-state for the given recent decode rate, including
 // its guardband and (when feedback is enabled) the learned measurement
@@ -209,12 +314,69 @@ type PSConfig struct {
 	// Floor is the minimum acceptable performance relative to peak
 	// (e.g. 0.8 allows a 20% slowdown).
 	Floor float64
+	// Degrade enables graceful degradation when counters go stale: a
+	// zero or implausible sample arriving while the workload was
+	// recently busy replays the last good sample for up to StaleTicks
+	// intervals (hold), after which PS abandons the online projection
+	// and falls back to the offline model — the lowest frequency that
+	// meets the floor for a core-bound workload, a frequency that
+	// satisfies the floor for every memory-boundedness. Zero samples
+	// with no busy history still mean idle (minimum frequency).
+	Degrade bool
+	// StaleTicks is how many consecutive stale intervals PS holds the
+	// last good projection before the offline fallback; 0 selects
+	// DefaultStaleTicks. Only meaningful with Degrade.
+	StaleTicks int
+}
+
+// DefaultStaleTicks is how long a degraded PS trusts a held projection
+// (5 intervals = 50 ms) before falling back to the offline model.
+const DefaultStaleTicks = 5
+
+// PSMode labels the decision path a degraded PowerSave tick took.
+type PSMode int
+
+// PowerSave decision modes, reported by LastMode.
+const (
+	// PSNormal projects from the current (good) sample.
+	PSNormal PSMode = iota
+	// PSIdle saw a zero sample with no recent busy history.
+	PSIdle
+	// PSHold replayed the last good sample during a stale episode.
+	PSHold
+	// PSOffline uses the offline core-bound fallback after a stale
+	// episode outlasted StaleTicks.
+	PSOffline
+)
+
+// String returns the mode's lowercase name.
+func (m PSMode) String() string {
+	switch m {
+	case PSNormal:
+		return "normal"
+	case PSIdle:
+		return "idle"
+	case PSHold:
+		return "hold"
+	case PSOffline:
+		return "offline"
+	}
+	return fmt.Sprintf("psmode(%d)", int(m))
 }
 
 // PowerSave implements the PS policy: run as slow as the performance
 // floor permits, even at full load.
 type PowerSave struct {
 	cfg PSConfig
+
+	// Graceful-degradation state (cfg.Degrade).
+	goodIPC  float64
+	goodDCU  float64
+	goodFrom int
+	haveGood bool
+	stale    int
+	mode     PSMode
+	degr     []trace.Degradation
 }
 
 // NewPowerSave builds a PS with the given configuration.
@@ -228,31 +390,110 @@ func NewPowerSave(cfg PSConfig) (*PowerSave, error) {
 	if cfg.Floor <= 0 || cfg.Floor > 1 {
 		return nil, fmt.Errorf("control: PS floor %g outside (0,1]", cfg.Floor)
 	}
+	if cfg.StaleTicks < 0 {
+		return nil, fmt.Errorf("control: PS stale ticks %d negative", cfg.StaleTicks)
+	}
+	if cfg.Degrade && cfg.StaleTicks == 0 {
+		cfg.StaleTicks = DefaultStaleTicks
+	}
 	return &PowerSave{cfg: cfg}, nil
 }
 
 // Name identifies the policy in traces.
 func (ps *PowerSave) Name() string {
-	return fmt.Sprintf("PS(%.0f%%,e=%.2f)", ps.cfg.Floor*100, ps.cfg.Perf.Exponent)
+	suffix := ""
+	if ps.cfg.Degrade {
+		suffix = "+dg"
+	}
+	return fmt.Sprintf("PS%s(%.0f%%,e=%.2f)", suffix, ps.cfg.Floor*100, ps.cfg.Perf.Exponent)
 }
 
 // Floor returns the configured performance floor.
 func (ps *PowerSave) Floor() float64 { return ps.cfg.Floor }
 
+// LastMode returns the decision path the most recent tick took.
+func (ps *PowerSave) LastMode() PSMode { return ps.mode }
+
+// note records a degradation event for the machine to drain.
+func (ps *PowerSave) note(kind, detail string) {
+	ps.degr = append(ps.degr, trace.Degradation{Source: "ps", Kind: kind, Detail: detail})
+}
+
+// DrainDegradations returns and clears degradation events recorded
+// since the last drain (machine.DegradationReporter).
+func (ps *PowerSave) DrainDegradations() []trace.Degradation {
+	d := ps.degr
+	ps.degr = nil
+	return d
+}
+
+// sampleUsable reports whether the tick's counter-derived rates can
+// feed the projection model.
+func sampleUsable(ipc, dcu float64) bool {
+	return !math.IsNaN(ipc) && !math.IsInf(ipc, 0) && ipc >= 0 &&
+		!math.IsNaN(dcu) && !math.IsInf(dcu, 0) && dcu >= 0
+}
+
 // Tick predicts throughput (IPC*f) at every p-state from the current
 // sample and picks the lowest frequency whose predicted performance
 // clears Floor x the predicted peak performance.
+//
+// With cfg.Degrade, stale counters (zero or implausible samples while
+// recently busy) replay the last good sample for up to StaleTicks
+// intervals, then fall back to the offline core-bound model.
 func (ps *PowerSave) Tick(info machine.TickInfo) int {
 	ipc := info.Sample.IPC()
-	if ipc == 0 {
-		// Idle interval: any frequency meets the floor; save maximally.
-		return 0
-	}
 	dcu := info.Sample.DCUPerInst()
 	from := info.PState.FreqMHz
+	usable := sampleUsable(ipc, dcu) && !info.Sample.Implausible()
+	if ps.cfg.Degrade {
+		switch {
+		case usable && ipc > 0:
+			// Good busy sample: remember it and project normally.
+			ps.goodIPC, ps.goodDCU, ps.goodFrom = ipc, dcu, from
+			ps.haveGood = true
+			if ps.stale > 0 {
+				ps.note("counters-restored", "")
+			}
+			ps.stale = 0
+			ps.mode = PSNormal
+		case !ps.haveGood:
+			// Zero (or garbage) sample with no busy history: idle.
+			ps.mode = PSIdle
+			return 0
+		default:
+			// Stale episode: hold the last good projection, then
+			// abandon the online model.
+			ps.stale++
+			if ps.stale == 1 {
+				ps.note("stale-counters", fmt.Sprintf("holding projection from %.3f IPC @%d MHz", ps.goodIPC, ps.goodFrom))
+			}
+			if ps.stale > ps.cfg.StaleTicks {
+				if ps.stale == ps.cfg.StaleTicks+1 {
+					ps.note("offline-fallback", fmt.Sprintf("stale for %d ticks; using offline core-bound floor", ps.stale))
+				}
+				ps.mode = PSOffline
+				return ps.offlineIndex(info.Table)
+			}
+			ps.mode = PSHold
+			ipc, dcu, from = ps.goodIPC, ps.goodDCU, ps.goodFrom
+		}
+	} else {
+		ps.mode = PSNormal
+		if !usable {
+			// Garbage rates would poison the projection; stand still.
+			return info.PStateIndex
+		}
+		if ipc == 0 {
+			// Idle interval: any frequency meets the floor; save maximally.
+			ps.mode = PSIdle
+			return 0
+		}
+	}
 	maxIdx := info.Table.Len() - 1
 	peak := ps.cfg.Perf.ProjectPerf(ipc, dcu, from, info.Table.At(maxIdx).FreqMHz)
-	if peak <= 0 {
+	if !(peak > 0) {
+		// Covers zero, negative and NaN projections alike.
 		return info.PStateIndex
 	}
 	// The relative tolerance keeps exact-boundary states (e.g. 1600 MHz
@@ -265,6 +506,21 @@ func (ps *PowerSave) Tick(info machine.TickInfo) int {
 		}
 	}
 	return maxIdx
+}
+
+// offlineIndex is the degraded fallback when counters have been stale
+// too long: the lowest p-state whose frequency ratio alone meets the
+// floor. A core-bound workload's performance scales linearly with
+// frequency — the worst case — so f >= Floor*fmax satisfies the floor
+// for every memory-boundedness.
+func (ps *PowerSave) offlineIndex(t *pstate.Table) int {
+	fmax := float64(t.Max().FreqMHz)
+	for i := 0; i < t.Len(); i++ {
+		if float64(t.At(i).FreqMHz) >= ps.cfg.Floor*fmax*(1-1e-9) {
+			return i
+		}
+	}
+	return t.Len() - 1
 }
 
 // OnDemand approximates the Linux ondemand governor: jump to maximum

@@ -1,6 +1,7 @@
 package control
 
 import (
+	"math"
 	"testing"
 
 	"aapm/internal/counters"
@@ -10,13 +11,20 @@ import (
 
 // FuzzGovernorDecisions drives every stateless-constructible governor
 // with arbitrary counter samples and checks the invariant a machine
-// relies on: decisions are always valid p-state indices.
+// relies on: decisions are always valid p-state indices. The measured
+// power arrives as raw float64 bits so the corpus reaches NaN, both
+// infinities, negative zero and subnormals — exactly what a faulted
+// sensing path can deliver.
 func FuzzGovernorDecisions(f *testing.F) {
-	f.Add(uint64(20_000_000), uint64(24_000_000), uint64(20_000_000), uint64(5_000_000), uint8(7), 13.5)
-	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint8(0), 10.5)
-	f.Add(uint64(1), uint64(1<<62), uint64(1<<62), uint64(1<<62), uint8(3), 17.5)
+	f.Add(uint64(20_000_000), uint64(24_000_000), uint64(20_000_000), uint64(5_000_000), uint8(7), math.Float64bits(13.5))
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint8(0), math.Float64bits(10.5))
+	f.Add(uint64(1), uint64(1<<62), uint64(1<<62), uint64(1<<62), uint8(3), math.Float64bits(17.5))
+	f.Add(uint64(1_000_000), uint64(800_000), uint64(700_000), uint64(100_000), uint8(5), math.Float64bits(math.NaN()))
+	f.Add(uint64(1_000_000), uint64(800_000), uint64(700_000), uint64(100_000), uint8(5), math.Float64bits(math.Inf(1)))
+	f.Add(uint64(1_000_000), uint64(800_000), uint64(700_000), uint64(100_000), uint8(5), math.Float64bits(math.Inf(-1)))
+	f.Add(uint64(1_000_000), uint64(800_000), uint64(700_000), uint64(100_000), uint8(5), math.Float64bits(-42.0))
 	tab := pstate.PentiumM755()
-	f.Fuzz(func(t *testing.T, cycles, decoded, retired, dcu uint64, idx8 uint8, meas float64) {
+	f.Fuzz(func(t *testing.T, cycles, decoded, retired, dcu uint64, idx8 uint8, measBits uint64) {
 		var s counters.Sample
 		s.SetCount(counters.Cycles, cycles)
 		s.SetCount(counters.InstDecoded, decoded)
@@ -28,9 +36,13 @@ func FuzzGovernorDecisions(f *testing.F) {
 			PState:         tab.At(idx),
 			PStateIndex:    idx,
 			Table:          tab,
-			MeasuredPowerW: meas,
+			MeasuredPowerW: math.Float64frombits(measBits),
 		}
 		pm, err := NewPerformanceMaximizer(PMConfig{LimitW: 13.5, FeedbackGain: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmDegrade, err := NewPerformanceMaximizer(PMConfig{LimitW: 13.5, FeedbackGain: 0.2, Degrade: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,16 +50,27 @@ func FuzzGovernorDecisions(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		psDegrade, err := NewPowerSave(PSConfig{Floor: 0.8, Degrade: true, StaleTicks: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
 		cc, err := NewCruiseControl(CruiseControlConfig{Slowdown: 0.15})
 		if err != nil {
 			t.Fatal(err)
 		}
-		govs := []machine.Governor{pm, ps, cc, &OnDemand{}, NewStaticClock(idx, "")}
+		govs := []machine.Governor{pm, pmDegrade, ps, psDegrade, cc, &OnDemand{}, NewStaticClock(idx, "")}
 		for _, g := range govs {
 			for k := 0; k < 3; k++ { // stateful governors see it repeatedly
 				got := g.Tick(info)
 				if got < 0 || got >= tab.Len() {
 					t.Fatalf("%s returned out-of-range index %d", g.Name(), got)
+				}
+			}
+			if r, ok := g.(machine.DegradationReporter); ok {
+				for _, d := range r.DrainDegradations() {
+					if d.Source == "" || d.Kind == "" {
+						t.Fatalf("%s produced a degradation with empty source/kind: %+v", g.Name(), d)
+					}
 				}
 			}
 		}
@@ -58,7 +81,8 @@ func FuzzGovernorDecisions(f *testing.F) {
 // accepted spec yields a usable governor.
 func FuzzParseGovernorSpec(f *testing.F) {
 	for _, s := range []string{
-		"pm:limit=14.5", "ps:floor=0.8,exponent=0.59", "static:freq=1800",
+		"pm:limit=14.5", "pm:limit=13.5,degrade", "ps:floor=0.8,exponent=0.59",
+		"ps:floor=0.8,degrade", "static:freq=1800",
 		"ondemand", "thermal:limit=75,reactive", "cruise:slowdown=0.1",
 		"none", "pm:limit=", "x:y=z", "pm:limit=1e309",
 	} {

@@ -15,8 +15,8 @@ import (
 //
 //	"none"                           pinned at the platform start state
 //	"static:freq=1800"               fixed frequency
-//	"pm:limit=14.5[,guardband=0.5][,feedback=0.1]"
-//	"ps:floor=0.8[,exponent=0.59]"
+//	"pm:limit=14.5[,guardband=0.5][,feedback=0.1][,degrade]"
+//	"ps:floor=0.8[,exponent=0.59][,degrade]"
 //	"throttle:floor=0.75"
 //	"cruise:slowdown=0.1"
 //	"ondemand[:up=0.8]"
@@ -84,7 +84,10 @@ func Parse(spec string, table *pstate.Table) (machine.Governor, error) {
 		if err != nil {
 			return nil, err
 		}
-		gov, err = NewPerformanceMaximizer(PMConfig{LimitW: limit, GuardbandW: gb, FeedbackGain: fb})
+		gov, err = NewPerformanceMaximizer(PMConfig{
+			LimitW: limit, GuardbandW: gb, FeedbackGain: fb,
+			Degrade: has("degrade"),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -98,8 +101,9 @@ func Parse(spec string, table *pstate.Table) (machine.Governor, error) {
 			return nil, err
 		}
 		gov, err = NewPowerSave(PSConfig{
-			Floor: floor,
-			Perf:  model.PerfModel{Threshold: model.PaperDCUThreshold, Exponent: exp},
+			Floor:   floor,
+			Perf:    model.PerfModel{Threshold: model.PaperDCUThreshold, Exponent: exp},
+			Degrade: has("degrade"),
 		})
 		if err != nil {
 			return nil, err

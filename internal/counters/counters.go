@@ -161,3 +161,36 @@ func (s *Sample) Accumulate(other Sample) {
 		s.counts[i] += other.counts[i]
 	}
 }
+
+// MaxPlausibleRate bounds per-cycle event rates on a real core: a
+// 3-wide machine cannot decode, retire or issue more than a few
+// events per cycle, so rates far above it indicate a corrupted
+// sample (e.g. a wrapped counter delta).
+const MaxPlausibleRate = 8.0
+
+// Implausible reports whether the sample is physically impossible on
+// live hardware: event counts without elapsed cycles, or any
+// per-cycle rate beyond MaxPlausibleRate. An all-zero sample is NOT
+// implausible — it is indistinguishable from an idle (halted)
+// interval or a missed read; callers that need to tell those apart
+// must use history.
+func (s Sample) Implausible() bool {
+	c := s.counts[Cycles]
+	if c == 0 {
+		for _, n := range s.counts {
+			if n != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for e := Event(0); e < numEvents; e++ {
+		if e == Cycles {
+			continue
+		}
+		if float64(s.counts[e]) > MaxPlausibleRate*float64(c) {
+			return true
+		}
+	}
+	return false
+}

@@ -48,6 +48,7 @@ func Registry() []Named {
 		{"utilization", "governors across the utilization axis", func(c *Context) (Printable, error) { return c.UtilizationStudy() }},
 		{"seeds", "headline-metric stability across seeds", func(c *Context) (Printable, error) { return c.SeedSensitivity() }},
 		{"guardband", "PM guardband sweep on galgel", func(c *Context) (Printable, error) { return c.GuardbandSweep() }},
+		{"faults", "governor robustness under injected faults", func(c *Context) (Printable, error) { return c.FaultSweep() }},
 		{"platform", "power-model platform specificity", func(c *Context) (Printable, error) { return c.PlatformSpecificity() }},
 	}
 }

@@ -1,0 +1,95 @@
+// Fuzz lives in an external test package so it can close the loop
+// through machine (which imports faults) without an import cycle.
+package faults_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"aapm/internal/control"
+	"aapm/internal/counters"
+	"aapm/internal/faults"
+	"aapm/internal/machine"
+	"aapm/internal/spec"
+)
+
+// FuzzFaultPlan throws arbitrary plan parameters at the injector and a
+// full bounded machine run: any plan that passes Validate must drive a
+// run to completion without panic, deadlock or an out-of-range
+// decision — no matter how hostile the fault schedule.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(0.05, 0.02, 0.01, 0.1, 0.05, 0.05, 0.1, 0.5, int16(2), int16(5), int64(1))
+	f.Add(1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 4.0, int16(16), int16(1), int64(99))
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, int16(0), int16(0), int64(0))
+	f.Add(math.NaN(), -1.0, 2.0, 0.5, 0.5, 0.5, 0.5, -0.1, int16(-1), int16(-3), int64(7))
+	f.Fuzz(func(t *testing.T, drop, stuck, spike, miss, wrap, sat, fail, jitter float64,
+		retries, episode int16, seed int64) {
+		plan := faults.Plan{
+			Sensor: faults.SensorPlan{
+				DropoutProb: drop, DropoutTicks: int(episode),
+				StuckProb: stuck, StuckTicks: int(episode),
+				SpikeProb: spike, SpikeMagW: 8,
+			},
+			Counter: faults.CounterPlan{
+				MissProb: miss, WrapProb: wrap, SaturateProb: sat,
+			},
+			Actuator: faults.ActuatorPlan{
+				FailProb: fail, Retries: int(retries), JitterStd: jitter,
+			},
+			Seed: seed,
+		}
+		inj, err := faults.NewInjector(plan, seed)
+		if (err == nil) != (plan.Validate() == nil) {
+			t.Fatalf("NewInjector error %v disagrees with Validate %v", err, plan.Validate())
+		}
+		if err != nil {
+			return
+		}
+		// Drive the injector bare for a few hundred intervals.
+		for i := 0; i < 300; i++ {
+			inj.BeginTick()
+			var truth counters.Sample
+			truth.SetCount(counters.Cycles, uint64(10_000_000+i))
+			truth.SetCount(counters.InstDecoded, uint64(8_000_000+i))
+			truth.SetCount(counters.InstRetired, 7_000_000)
+			_ = inj.Counters(truth)
+			w := inj.Sense(12.5)
+			if !math.IsNaN(w) && w < 0 {
+				t.Fatalf("tick %d: Sense returned negative power %g", i, w)
+			}
+			if i%3 == 0 {
+				ok, extra := inj.Transition(30 * time.Microsecond)
+				if !ok && extra < 0 {
+					t.Fatalf("tick %d: failed transition with negative stall %v", i, extra)
+				}
+			}
+			for _, e := range inj.Drain() {
+				if e.Source == "" || e.Kind == "" {
+					t.Fatalf("tick %d: event with empty source/kind: %+v", i, e)
+				}
+			}
+		}
+		// Close the loop: a bounded run under a degraded PM must finish.
+		w, err := spec.ByName("ammp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Iterations = 1
+		m, err := machine.New(machine.Config{Faults: &plan, Seed: seed, MaxTicks: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm, err := control.NewPerformanceMaximizer(control.PMConfig{LimitW: 13.5, Degrade: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := m.Run(w, pm)
+		if err != nil {
+			t.Fatalf("run under plan %+v: %v", plan, err)
+		}
+		if len(run.Rows) == 0 || run.Duration <= 0 {
+			t.Fatalf("run produced no trace: %d rows, %v", len(run.Rows), run.Duration)
+		}
+	})
+}

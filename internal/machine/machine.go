@@ -14,10 +14,12 @@ package machine
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"time"
 
 	"aapm/internal/counters"
+	"aapm/internal/faults"
 	"aapm/internal/phase"
 	"aapm/internal/power"
 	"aapm/internal/pstate"
@@ -80,6 +82,16 @@ type Throttler interface {
 	Duty() float64
 }
 
+// DegradationReporter is optionally implemented by governors that
+// degrade gracefully under faulted inputs. The session drains the log
+// after every tick, stamps each entry with the virtual time, and
+// appends it to the run's degradation log.
+type DegradationReporter interface {
+	// DrainDegradations returns and clears the events accumulated
+	// since the last call.
+	DrainDegradations() []trace.Degradation
+}
+
 // Config describes a platform instance.
 type Config struct {
 	// Table is the p-state table; nil selects the Pentium M 755 table.
@@ -97,6 +109,12 @@ type Config struct {
 	// Thermal, when non-nil, enables the die-temperature model; the
 	// sensor reading is exposed to governors via TickInfo.TempC.
 	Thermal *thermal.Config
+	// Faults, when non-nil and non-zero, injects sensor, counter and
+	// actuator faults into every run (package faults). Faults corrupt
+	// only what policies observe — measured power, the PMU sample the
+	// governor sees, and transition outcomes — never the ground-truth
+	// physics, so adherence evaluation against true power stays exact.
+	Faults *faults.Plan
 	// Seed drives measurement noise and workload jitter. Runs of the
 	// same workload on the same seed observe identical jitter
 	// regardless of policy, so policy comparisons are paired.
@@ -122,6 +140,7 @@ type Machine struct {
 	period   time.Duration
 	translat time.Duration
 	thermal  *thermal.Config
+	faults   *faults.Plan
 	seed     int64
 	startIdx int
 	maxTicks int
@@ -183,6 +202,14 @@ func New(cfg Config) (*Machine, error) {
 			return nil, err
 		}
 	}
+	var plan *faults.Plan
+	if cfg.Faults != nil && !cfg.Faults.Zero() {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		p := *cfg.Faults
+		plan = &p
+	}
 	return &Machine{
 		table:    t,
 		truth:    truth,
@@ -190,6 +217,7 @@ func New(cfg Config) (*Machine, error) {
 		period:   period,
 		translat: translat,
 		thermal:  cfg.Thermal,
+		faults:   plan,
 		seed:     cfg.Seed,
 		startIdx: start,
 		maxTicks: maxTicks,
@@ -273,6 +301,7 @@ type Session struct {
 	act *pstate.Actuator
 	st  *runState
 	tm  *thermal.Model
+	inj *faults.Injector
 	run *trace.Run
 
 	now        time.Duration
@@ -313,6 +342,19 @@ func (m *Machine) NewSession(w phase.Workload, g Governor) (*Session, error) {
 			return nil, err
 		}
 	}
+	var inj *faults.Injector
+	if m.faults != nil {
+		// The injector's streams derive from seed+workload (like the
+		// noise stream) so fault timelines are stable per run and
+		// identical across policies — but from a separate source, so
+		// enabling faults does not perturb the existing noise/jitter
+		// sequence.
+		var err error
+		inj, err = faults.NewInjector(*m.faults, m.seed^int64(hashName(w.Name)))
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Session{
 		m:      m,
 		w:      w,
@@ -322,6 +364,7 @@ func (m *Machine) NewSession(w phase.Workload, g Governor) (*Session, error) {
 		act:    act,
 		st:     newRunState(w),
 		tm:     tm,
+		inj:    inj,
 		run:    &trace.Run{Workload: w.Name, Policy: policy},
 		duty:   1.0,
 	}
@@ -445,8 +488,25 @@ func (s *Session) Step() (bool, error) {
 
 	truePower := m.intervalPower(s.act.CurrentIndex(), sample, busy, used)
 	measured := m.chain.Measure(truePower, s.rng)
+	// The governor-visible sample; fault injection corrupts it (and
+	// the measured power) without touching the true physics above.
+	observed := sample
+	if s.inj != nil {
+		s.inj.BeginTick()
+		observed = s.inj.Counters(sample)
+		measured = s.inj.Sense(measured)
+		for _, e := range s.inj.Drain() {
+			s.run.AddDegradation(trace.Degradation{
+				T: s.now + used, Source: e.Source, Kind: e.Kind, Detail: e.Detail,
+			})
+		}
+	}
 	s.energyTrue.Add(truePower, used.Seconds())
-	s.energyMeas.Add(measured, used.Seconds())
+	if !math.IsNaN(measured) {
+		// Dropped acquisitions contribute no measured energy, the way
+		// the paper's integration simply lacks the missing samples.
+		s.energyMeas.Add(measured, used.Seconds())
+	}
 	m.recorder.Record(s.now+used, measured)
 	var tempC float64
 	if s.tm != nil {
@@ -458,11 +518,11 @@ func (s *Session) Step() (bool, error) {
 		T:              s.now,
 		Interval:       used,
 		FreqMHz:        ps.FreqMHz,
-		DPC:            sample.DPC(),
-		IPC:            sample.IPC(),
-		DCU:            sample.DCU(),
-		L2PC:           sample.L2PC(),
-		MemPC:          sample.MemPC(),
+		DPC:            observed.DPC(),
+		IPC:            observed.IPC(),
+		DCU:            observed.DCU(),
+		L2PC:           observed.L2PC(),
+		MemPC:          observed.MemPC(),
 		TruePowerW:     truePower,
 		MeasuredPowerW: measured,
 		Instructions:   instrs,
@@ -481,7 +541,7 @@ func (s *Session) Step() (bool, error) {
 		want := s.g.Tick(TickInfo{
 			Now:            s.now,
 			Interval:       used,
-			Sample:         sample,
+			Sample:         observed,
 			PState:         ps,
 			PStateIndex:    s.act.CurrentIndex(),
 			Table:          m.table,
@@ -489,12 +549,34 @@ func (s *Session) Step() (bool, error) {
 			TempC:          tempC,
 			Duty:           s.duty,
 		})
-		if want != s.act.CurrentIndex() {
-			d, err := s.act.Set(want)
-			if err != nil {
-				return false, fmt.Errorf("machine: governor %s: %w", s.policy, err)
+		if dr, ok := s.g.(DegradationReporter); ok {
+			for _, d := range dr.DrainDegradations() {
+				d.T = s.now
+				s.run.AddDegradation(d)
 			}
-			s.pendStall += d
+		}
+		if want != s.act.CurrentIndex() {
+			ok, extra := true, time.Duration(0)
+			if s.inj != nil {
+				ok, extra = s.inj.Transition(s.act.Latency())
+				for _, e := range s.inj.Drain() {
+					s.run.AddDegradation(trace.Degradation{
+						T: s.now, Source: e.Source, Kind: e.Kind, Detail: e.Detail,
+					})
+				}
+			}
+			if ok {
+				d, err := s.act.Set(want)
+				if err != nil {
+					return false, fmt.Errorf("machine: governor %s: %w", s.policy, err)
+				}
+				s.pendStall += d + extra
+			} else {
+				// Transition abandoned: the actuator stays put and the
+				// failed attempts' stall time is still paid.
+				s.act.RecordFailure(extra)
+				s.pendStall += extra
+			}
 		}
 		if th, ok := s.g.(Throttler); ok {
 			s.duty = th.Duty()
@@ -519,6 +601,7 @@ func (s *Session) Result() *trace.Run {
 		s.run.EnergyJ = s.energyTrue.Joules()
 		s.run.MeasuredEnergyJ = s.energyMeas.Joules()
 		s.run.Transitions = s.act.Transitions()
+		s.run.FailedTransitions = s.act.FailedTransitions()
 		s.finalized = true
 	}
 	return s.run

@@ -1,0 +1,47 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzzers surfaced that NaN/Inf counter rates flow into eq. 3 and make
+// every downstream comparison false; the projection must return 0 for
+// unphysical inputs instead.
+func TestProjectIPCRejectsUnphysicalInputs(t *testing.T) {
+	m := PaperPerfModel()
+	cases := []struct {
+		name     string
+		ipc, dcu float64
+		from, to int
+	}{
+		{"nan ipc", math.NaN(), 0.5, 2000, 600},
+		{"inf ipc", math.Inf(1), 0.5, 2000, 600},
+		{"neg ipc", -1, 0.5, 2000, 600},
+		{"nan dcu", 1, math.NaN(), 2000, 600},
+		{"inf dcu", 1, math.Inf(-1), 2000, 600},
+		{"neg dcu", 1, -0.1, 2000, 600},
+		{"zero from", 1, 2, 0, 600},
+		{"neg to", 1, 2, 2000, -600},
+	}
+	for _, c := range cases {
+		if got := m.ProjectIPC(c.ipc, c.dcu, c.from, c.to); got != 0 {
+			t.Errorf("%s: ProjectIPC = %g, want 0", c.name, got)
+		}
+		if got := m.ProjectPerf(c.ipc, c.dcu, c.from, c.to); got != 0 {
+			t.Errorf("%s: ProjectPerf = %g, want 0", c.name, got)
+		}
+	}
+}
+
+func TestProjectIPCStillProjectsGoodInputs(t *testing.T) {
+	m := PaperPerfModel()
+	got := m.ProjectIPC(1.0, 2.0, 2000, 1000)
+	want := math.Pow(2.0, m.Exponent)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("memory-bound projection = %g, want %g", got, want)
+	}
+	if got := m.ProjectIPC(1.0, 0.0, 2000, 1000); got != 1.0 {
+		t.Fatalf("core-bound projection = %g, want 1", got)
+	}
+}

@@ -129,8 +129,16 @@ func (m PerfModel) MemoryBound(dcuPerInst float64) bool {
 }
 
 // ProjectIPC predicts IPC at frequency toMHz given the observed ipc
-// and dcuPerInst at fromMHz (eq. 3).
+// and dcuPerInst at fromMHz (eq. 3). Unphysical inputs — NaN, Inf or
+// negative rates, non-positive frequencies — project to 0 rather than
+// poisoning downstream comparisons (every NaN comparison is false, so
+// a NaN projection would silently disable a governor's floor check).
 func (m PerfModel) ProjectIPC(ipc, dcuPerInst float64, fromMHz, toMHz int) float64 {
+	if math.IsNaN(ipc) || math.IsInf(ipc, 0) || ipc < 0 ||
+		math.IsNaN(dcuPerInst) || math.IsInf(dcuPerInst, 0) || dcuPerInst < 0 ||
+		fromMHz <= 0 || toMHz <= 0 {
+		return 0
+	}
 	if fromMHz == toMHz || ipc == 0 {
 		return ipc
 	}

@@ -177,6 +177,7 @@ type Actuator struct {
 	latency time.Duration
 
 	transitions int
+	failed      int
 	stallTotal  time.Duration
 }
 
@@ -197,6 +198,19 @@ func (a *Actuator) SetTransitionLatency(d time.Duration) {
 		d = 0
 	}
 	a.latency = d
+}
+
+// Latency returns the modeled DVFS transition latency.
+func (a *Actuator) Latency() time.Duration { return a.latency }
+
+// RecordFailure charges the stall cost of an abandoned transition
+// attempt (fault injection) without moving the actuator.
+func (a *Actuator) RecordFailure(stall time.Duration) {
+	if stall < 0 {
+		stall = 0
+	}
+	a.failed++
+	a.stallTotal += stall
 }
 
 // Table returns the actuator's p-state table.
@@ -236,11 +250,15 @@ func (a *Actuator) SetFreq(freqMHz int) (time.Duration, error) {
 // actuator, e.g. after positioning it at a run's start state.
 func (a *Actuator) ResetStats() {
 	a.transitions = 0
+	a.failed = 0
 	a.stallTotal = 0
 }
 
 // Transitions returns the number of completed p-state changes.
 func (a *Actuator) Transitions() int { return a.transitions }
+
+// FailedTransitions returns the number of abandoned change attempts.
+func (a *Actuator) FailedTransitions() int { return a.failed }
 
 // StallTotal returns the cumulative transition stall time.
 func (a *Actuator) StallTotal() time.Duration { return a.stallTotal }

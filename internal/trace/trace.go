@@ -51,8 +51,61 @@ type Run struct {
 	// measured samples the way the paper computes energy.
 	EnergyJ         float64
 	MeasuredEnergyJ float64
-	// Transitions counts p-state changes the policy made.
-	Transitions int
+	// Transitions counts p-state changes the policy made;
+	// FailedTransitions counts change attempts the (faulted) actuator
+	// abandoned.
+	Transitions       int
+	FailedTransitions int
+
+	// Degradations is the run's degradation log: injected faults and
+	// the governor's graceful-degradation responses, in time order.
+	// The slice is capped at DegradationLogCap entries;
+	// DegradationCounts tallies every event by "source/kind"
+	// regardless of the cap.
+	Degradations      []Degradation
+	DegradationCounts map[string]int
+}
+
+// Degradation is one entry in a run's degradation log: either a fault
+// the platform injected (Source "sensor", "counters", "actuator") or
+// a governor's response to degraded inputs (Source "pm", "ps", ...).
+type Degradation struct {
+	// T is the virtual time the event was recorded.
+	T time.Duration
+	// Source names the subsystem that emitted the entry.
+	Source string
+	// Kind names the event (e.g. "dropout", "miss", "hold-dpc",
+	// "offline-fallback").
+	Kind string
+	// Detail is an optional human-readable annotation.
+	Detail string
+}
+
+// DegradationLogCap bounds Run.Degradations so high fault rates on
+// long runs don't balloon the trace; DegradationCounts keeps exact
+// totals past the cap.
+const DegradationLogCap = 512
+
+// AddDegradation appends d to the log (up to DegradationLogCap) and
+// tallies it in DegradationCounts.
+func (r *Run) AddDegradation(d Degradation) {
+	if r.DegradationCounts == nil {
+		r.DegradationCounts = make(map[string]int)
+	}
+	r.DegradationCounts[d.Source+"/"+d.Kind]++
+	if len(r.Degradations) < DegradationLogCap {
+		r.Degradations = append(r.Degradations, d)
+	}
+}
+
+// DegradationTotal returns the total number of logged events
+// (including those past the cap).
+func (r *Run) DegradationTotal() int {
+	n := 0
+	for _, v := range r.DegradationCounts {
+		n += v
+	}
+	return n
 }
 
 // AvgPowerW returns time-weighted average true power.
