@@ -27,6 +27,7 @@ import (
 	"aapm/internal/control"
 	"aapm/internal/faults"
 	"aapm/internal/machine"
+	"aapm/internal/metrics"
 	"aapm/internal/mixes"
 	"aapm/internal/model"
 	"aapm/internal/phase"
@@ -50,6 +51,39 @@ type TickInfo = machine.TickInfo
 
 // Governor is a power-management policy driving p-state decisions.
 type Governor = machine.Governor
+
+// Session is an in-progress run advanced one monitoring interval at a
+// time; subscribe Hooks to it before stepping.
+type Session = machine.Session
+
+// Hook observes the staged tick engine: one OnTick per interval, plus
+// transition, degradation and run-done events. Embed HookBase and
+// override only what you need, then pass the hook to
+// Platform.RunWith or Session.Subscribe.
+type Hook = machine.Hook
+
+// HookBase is a no-op Hook for embedding.
+type HookBase = machine.BaseHook
+
+// TickState is the per-interval record the staged engine delivers to
+// every Hook.
+type TickState = machine.TickState
+
+// Transition describes one p-state change the engine's actuate stage
+// resolved.
+type Transition = machine.Transition
+
+// RunMetrics aggregates per-run engine counters (ticks, transitions,
+// stall time, energy, violations, per-stage wall-clock) from the Hook
+// bus; see NewMetricsCollector.
+type RunMetrics = metrics.Collector
+
+// NewMetricsCollector returns a Hook that aggregates engine counters
+// over one run. limitW > 0 additionally counts intervals whose
+// measured power exceeded it; pass 0 to disable violation counting.
+func NewMetricsCollector(limitW float64) *RunMetrics {
+	return &metrics.Collector{LimitW: limitW}
+}
 
 // Run is a recorded workload execution.
 type Run = trace.Run

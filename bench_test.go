@@ -21,6 +21,7 @@ import (
 	"aapm/internal/experiment"
 	"aapm/internal/kernel"
 	"aapm/internal/machine"
+	"aapm/internal/metrics"
 	"aapm/internal/mloops"
 	"aapm/internal/model"
 	"aapm/internal/sensor"
@@ -396,6 +397,42 @@ func BenchmarkMachineTick(b *testing.B) {
 			b.Fatal(err)
 		}
 		ticks += len(run.Rows)
+	}
+}
+
+// BenchmarkStagedTick measures the same per-interval cost with the
+// staged engine driven by hand — a metrics collector subscribed and
+// sessions stepped manually — to pin the hook bus overhead against
+// BenchmarkMachineTick (budget: ≤5%).
+func BenchmarkStagedTick(b *testing.B) {
+	w, err := spec.ByName("ammp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := machine.New(machine.Config{Chain: sensor.NIDefault(), Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	ticks := 0
+	for ticks < b.N {
+		s, err := m.NewSession(w, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col := &metrics.Collector{}
+		s.Subscribe(col)
+		for {
+			done, err := s.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if done {
+				break
+			}
+		}
+		s.Result()
+		ticks += col.Ticks
 	}
 }
 

@@ -7,6 +7,7 @@
 //	aapm-run -workload ammp -policy pm -limit 14.5
 //	aapm-run -workload swim -policy ps -floor 0.8
 //	aapm-run -workload crafty -policy static -freq 1800 -csv trace.csv
+//	aapm-run -workload galgel -policy pm -limit 13.5 -metrics
 //	aapm-run -workload-file my.json -policy ondemand
 //	aapm-run -list
 package main
@@ -18,6 +19,7 @@ import (
 
 	"aapm/internal/control"
 	"aapm/internal/machine"
+	"aapm/internal/metrics"
 	"aapm/internal/model"
 	"aapm/internal/phase"
 	"aapm/internal/sensor"
@@ -35,6 +37,7 @@ func main() {
 	freq := flag.Int("freq", 2000, "static policy frequency in MHz")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	csvPath := flag.String("csv", "", "write the full 10 ms trace to this CSV file")
+	showMetrics := flag.Bool("metrics", false, "print staged-engine counters (ticks, transitions, stall, per-stage wall-clock)")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	flag.Parse()
 
@@ -66,13 +69,16 @@ func main() {
 		fatal(err)
 	}
 
+	// The collector counts over-limit intervals only when the policy
+	// declares a power limit to judge against.
+	var limitW float64
 	var gov machine.Governor
 	if *govSpec != "" {
 		gov, err = control.Parse(*govSpec, m.Table())
 		if err != nil {
 			fatal(err)
 		}
-		runAndReport(m, w, gov, *csvPath)
+		runAndReport(m, w, gov, *csvPath, *showMetrics, 0)
 		return
 	}
 	switch *policy {
@@ -88,6 +94,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		limitW = *limit
 	case "ps":
 		gov, err = control.NewPowerSave(control.PSConfig{
 			Floor: *floor,
@@ -112,16 +119,36 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
-	runAndReport(m, w, gov, *csvPath)
+	runAndReport(m, w, gov, *csvPath, *showMetrics, limitW)
 }
 
-func runAndReport(m *machine.Machine, w phase.Workload, gov machine.Governor, csvPath string) {
-	run, err := m.Run(w, gov)
+func runAndReport(m *machine.Machine, w phase.Workload, gov machine.Governor, csvPath string, showMetrics bool, limitW float64) {
+	col := &metrics.Collector{LimitW: limitW}
+	s, err := m.NewSession(w, gov)
 	if err != nil {
 		fatal(err)
 	}
+	if showMetrics {
+		s.Subscribe(col)
+		s.EnableStageTiming()
+	}
+	for {
+		done, err := s.Step()
+		if err != nil {
+			fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	run := s.Result()
 	if err := run.TimelineSummary(os.Stdout); err != nil {
 		fatal(err)
+	}
+	if showMetrics {
+		if err := col.Print(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 	if csvPath != "" {
 		f, err := os.Create(csvPath)

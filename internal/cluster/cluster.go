@@ -94,6 +94,7 @@ func Run(cfg Config) (*Result, error) {
 	share := cfg.BudgetW / float64(n)
 	sessions := make([]*machine.Session, n)
 	pms := make([]*control.PerformanceMaximizer, n)
+	taps := make([]*nodeTap, n)
 	names := make([]string, n)
 	var table *pstate.Table
 	for i, node := range cfg.Nodes {
@@ -121,6 +122,8 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %s: %w", name, err)
 		}
+		taps[i] = &nodeTap{}
+		s.Subscribe(taps[i])
 		sessions[i] = s
 		pms[i] = pm
 	}
@@ -141,9 +144,10 @@ func Run(cfg Config) (*Result, error) {
 			if _, err := s.Step(); err != nil {
 				return nil, fmt.Errorf("cluster: node %s: %w", names[i], err)
 			}
-			if row, ok := s.LastRow(); ok {
-				totalW += row.MeasuredPowerW
-				recent[i] += row.MeasuredPowerW
+			if taps[i].ok {
+				w := taps[i].last.MeasuredPowerW
+				totalW += w
+				recent[i] += w
 				recentN[i]++
 			}
 		}
@@ -159,7 +163,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		if !cfg.Static && tick > 0 && tick%epoch == 0 {
-			reallocate(cfg.BudgetW, floor, table, sessions, pms)
+			reallocate(cfg.BudgetW, floor, table, sessions, taps, pms)
 			for i := range recent {
 				recent[i], recentN[i] = 0, 0
 			}
@@ -181,11 +185,23 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// nodeTap subscribes to one node's tick bus and keeps the latest
+// interval's observations for the coordinator, replacing the old
+// pattern of groping the node's trace via LastRow.
+type nodeTap struct {
+	machine.BaseHook
+	last machine.TickState
+	ok   bool
+}
+
+// OnTick implements machine.Hook.
+func (t *nodeTap) OnTick(ts machine.TickState) { t.last, t.ok = ts, true }
+
 // reallocate redistributes the budget over the active nodes' desires:
 // each active node asks for the (feedback-corrected) power it would
 // need to run the top p-state at its recent decode rate. Finished
 // nodes release their share.
-func reallocate(budget, floor float64, table *pstate.Table, sessions []*machine.Session, pms []*control.PerformanceMaximizer) {
+func reallocate(budget, floor float64, table *pstate.Table, sessions []*machine.Session, taps []*nodeTap, pms []*control.PerformanceMaximizer) {
 	var idx []int
 	var desires []float64
 	for i, s := range sessions {
@@ -193,10 +209,10 @@ func reallocate(budget, floor float64, table *pstate.Table, sessions []*machine.
 			continue
 		}
 		desire := floor
-		if row, ok := s.LastRow(); ok {
+		if taps[i].ok {
 			// A small margin above the node's own requirement keeps
 			// intensity jitter from tripping a tightly fitted limit.
-			desire = pms[i].BudgetDesireW(table, row.DPC) + 0.5
+			desire = pms[i].BudgetDesireW(table, taps[i].last.Observed.DPC()) + 0.5
 		}
 		idx = append(idx, i)
 		desires = append(desires, desire)

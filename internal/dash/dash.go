@@ -14,6 +14,7 @@ import (
 
 	"aapm/internal/control"
 	"aapm/internal/machine"
+	"aapm/internal/metrics"
 	"aapm/internal/sensor"
 	"aapm/internal/spec"
 	"aapm/internal/thermal"
@@ -41,15 +42,26 @@ type runRow struct {
 	Phase   string  `json:"phase"`
 }
 
+// runMetrics is the engine-counter block of /api/run, aggregated by a
+// metrics.Collector on the session's Hook bus.
+type runMetrics struct {
+	Ticks             int     `json:"ticks"`
+	Transitions       int     `json:"transitions"`
+	FailedTransitions int     `json:"failed_transitions,omitempty"`
+	StallMs           float64 `json:"stall_ms"`
+	Degradations      int     `json:"degradations,omitempty"`
+}
+
 // runResponse is the JSON payload of /api/run.
 type runResponse struct {
-	Workload    string   `json:"workload"`
-	Policy      string   `json:"policy"`
-	DurationSec float64  `json:"duration_sec"`
-	EnergyJ     float64  `json:"energy_j"`
-	AvgPowerW   float64  `json:"avg_power_w"`
-	Transitions int      `json:"transitions"`
-	Rows        []runRow `json:"rows"`
+	Workload    string     `json:"workload"`
+	Policy      string     `json:"policy"`
+	DurationSec float64    `json:"duration_sec"`
+	EnergyJ     float64    `json:"energy_j"`
+	AvgPowerW   float64    `json:"avg_power_w"`
+	Transitions int        `json:"transitions"`
+	Metrics     runMetrics `json:"metrics"`
+	Rows        []runRow   `json:"rows"`
 }
 
 func apiWorkloads(w http.ResponseWriter, r *http.Request) {
@@ -100,15 +112,16 @@ func apiRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	run, err := m.Run(wl, gov)
+	col := &metrics.Collector{}
+	run, err := m.RunWith(wl, gov, col)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, toResponse(run))
+	writeJSON(w, toResponse(run, col))
 }
 
-func toResponse(run *trace.Run) runResponse {
+func toResponse(run *trace.Run, col *metrics.Collector) runResponse {
 	resp := runResponse{
 		Workload:    run.Workload,
 		Policy:      run.Policy,
@@ -116,6 +129,13 @@ func toResponse(run *trace.Run) runResponse {
 		EnergyJ:     run.EnergyJ,
 		AvgPowerW:   run.AvgPowerW(),
 		Transitions: run.Transitions,
+		Metrics: runMetrics{
+			Ticks:             col.Ticks,
+			Transitions:       col.Transitions,
+			FailedTransitions: col.FailedTransitions,
+			StallMs:           float64(col.StallTime) / float64(time.Millisecond),
+			Degradations:      col.Degradations,
+		},
 	}
 	for _, row := range run.Rows {
 		resp.Rows = append(resp.Rows, runRow{
@@ -207,7 +227,8 @@ document.getElementById('go').onclick = async () => {
   document.getElementById('summary').textContent =
     data.policy + ': ' + data.duration_sec.toFixed(2) + 's, ' +
     data.energy_j.toFixed(1) + 'J, avg ' + data.avg_power_w.toFixed(2) + 'W, ' +
-    data.transitions + ' transitions';
+    data.transitions + ' transitions, ' + data.metrics.ticks + ' ticks, ' +
+    data.metrics.stall_ms.toFixed(1) + 'ms stalled';
   poly(document.getElementById('power'), null, data.rows.map(r => r.power_w));
   poly(document.getElementById('freq'), null, data.rows.map(r => r.freq_mhz));
   poly(document.getElementById('temp'), null, data.rows.map(r => r.temp_c));

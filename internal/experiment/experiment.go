@@ -11,6 +11,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -202,13 +203,16 @@ func (c *Context) RunPS(workload string, floor, exponent float64) (*trace.Run, e
 	})
 }
 
-// forEach runs fn over the names with bounded parallelism, returning
-// the first error observed.
+// forEach runs fn over the names with bounded parallelism, stopping
+// early on error.
 func (c *Context) forEach(names []string, fn func(name string) error) error {
 	return c.forEachN(len(names), func(i int) error { return fn(names[i]) })
 }
 
-// forEachN runs fn over 0..n-1 with bounded parallelism.
+// forEachN runs fn over 0..n-1 with bounded parallelism. The first
+// error stops new work from being launched (already-running jobs
+// finish), and every error observed is returned joined rather than
+// silently discarded.
 func (c *Context) forEachN(n int, fn func(i int) error) error {
 	par := c.opts.Parallelism
 	if par <= 0 {
@@ -225,24 +229,37 @@ func (c *Context) forEachN(n int, fn func(i int) error) error {
 		}
 		return nil
 	}
-	sem := make(chan struct{}, par)
-	errCh := make(chan error, n)
-	var wg sync.WaitGroup
+	var (
+		sem      = make(chan struct{}, par)
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+		mu       sync.Mutex
+		errs     []error
+		wg       sync.WaitGroup
+	)
+launch:
 	for i := 0; i < n; i++ {
-		i := i
-		wg.Add(1)
+		select {
+		case <-stop:
+			// A job failed: abandon the remaining work.
+			break launch
+		default:
+		}
 		sem <- struct{}{}
-		go func() {
+		wg.Add(1)
+		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			if err := fn(i); err != nil {
-				errCh <- err
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+				stopOnce.Do(func() { close(stop) })
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	return errors.Join(errs...)
 }
 
 // PowerLimits are the eight PM evaluation limits of §IV-A.2.

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func foreachCtx(t *testing.T, par int) *Context {
+	t.Helper()
+	c, err := NewContext(Options{Seed: 1, Parallelism: par})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestForEachNStopsLaunchingAfterError(t *testing.T) {
+	c := foreachCtx(t, 4)
+	boom := errors.New("boom")
+	var invoked atomic.Int64
+	err := c.forEachN(64, func(i int) error {
+		invoked.Add(1)
+		if i == 0 {
+			return boom
+		}
+		// Keep non-failing jobs slow enough that the launcher observes
+		// the stop signal long before the loop could run dry.
+		time.Sleep(10 * time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := invoked.Load(); n >= 64 {
+		t.Errorf("all %d jobs ran despite an early error", n)
+	}
+}
+
+func TestForEachNJoinsAllErrors(t *testing.T) {
+	c := foreachCtx(t, 4)
+	// A barrier holds every job open until all four have launched, so
+	// each one's error must appear in the joined result.
+	var started sync.WaitGroup
+	started.Add(4)
+	err := c.forEachN(4, func(i int) error {
+		started.Done()
+		started.Wait()
+		return fmt.Errorf("job %d failed", i)
+	})
+	if err == nil {
+		t.Fatal("no error returned")
+	}
+	for i := 0; i < 4; i++ {
+		if want := fmt.Sprintf("job %d failed", i); !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestForEachNSerialStopsImmediately(t *testing.T) {
+	c := foreachCtx(t, 1)
+	boom := errors.New("boom")
+	var invoked int
+	err := c.forEachN(10, func(i int) error {
+		invoked++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if invoked != 3 {
+		t.Errorf("invoked %d jobs, want exactly 3 (serial stops at the error)", invoked)
+	}
+}
+
+func TestForEachNAllSucceed(t *testing.T) {
+	c := foreachCtx(t, 3)
+	var invoked atomic.Int64
+	if err := c.forEachN(17, func(int) error {
+		invoked.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if invoked.Load() != 17 {
+		t.Errorf("invoked %d jobs, want 17", invoked.Load())
+	}
+}

@@ -1,0 +1,37 @@
+package machine
+
+// clampGauss limits a standard-normal draw to ±2σ so a single
+// unlucky draw cannot swing an interval's intensity arbitrarily far.
+func clampGauss(g float64) float64 {
+	if g > 2 {
+		return 2
+	}
+	if g < -2 {
+		return -2
+	}
+	return g
+}
+
+// jitterFactor converts a (clamped) standard-normal draw into the
+// interval's workload-intensity multiplier: 1 + pct·g, floored at 0.2
+// so jitter never makes an interval fully dead.
+func jitterFactor(pct, g float64) float64 {
+	j := 1 + pct*clampGauss(g)
+	if j < 0.2 {
+		return 0.2
+	}
+	return j
+}
+
+// clampDuty bounds a throttler's requested duty cycle to [0.05, 1]:
+// T-state modulation can neither stop the clock entirely nor exceed
+// full speed.
+func clampDuty(d float64) float64 {
+	if d > 1 {
+		return 1
+	}
+	if d < 0.05 {
+		return 0.05
+	}
+	return d
+}

@@ -3,10 +3,14 @@
 // measurement chain, driven by a virtual 10 ms sampling clock.
 //
 // A Machine executes a phase-trace workload (package phase) under a
-// Governor — the power-management policy. Each tick it synthesizes the
-// interval's counter activity from the active phase and p-state,
-// computes true power, takes a sensed power sample, records a trace
-// row, and asks the governor for the next p-state. Everything runs on
+// Governor — the power-management policy. Each tick runs the staged
+// engine (stages.go): execute synthesizes the interval's counter
+// activity from the active phase and p-state, measure computes true
+// power and the sensed sample, observe exposes the PMU/thermal view,
+// govern asks the policy for the next p-state, and actuate applies
+// it. Cross-cutting consumers — trace recording, degradation logs,
+// metrics, cluster coordination — subscribe to the per-tick Hook bus
+// (tick.go) rather than living inline in the loop. Everything runs on
 // virtual time with a seeded RNG, so runs are deterministic and free
 // of host GC/runtime jitter.
 package machine
@@ -14,7 +18,6 @@ package machine
 import (
 	"fmt"
 	"hash/fnv"
-	"math"
 	"math/rand"
 	"time"
 
@@ -304,6 +307,9 @@ type Session struct {
 	inj *faults.Injector
 	run *trace.Run
 
+	hooks []Hook
+	clock stageClock
+
 	now        time.Duration
 	pendStall  time.Duration
 	energyTrue power.Energy
@@ -368,9 +374,24 @@ func (m *Machine) NewSession(w phase.Workload, g Governor) (*Session, error) {
 		run:    &trace.Run{Workload: w.Name, Policy: policy},
 		duty:   1.0,
 	}
+	// The canonical trace recorder is the bus's first subscriber; every
+	// row and degradation entry the rest of the system reads is built
+	// by this hook, not by the engine itself.
+	s.hooks = []Hook{&runRecorder{run: s.run}}
 	m.recorder.Mark(0, w.Name, true)
 	return s, nil
 }
+
+// Subscribe adds h to the session's observer bus. Hooks fire in
+// subscription order, after the canonical trace recorder. Subscribe
+// before the first Step; hooks must not mutate the session.
+func (s *Session) Subscribe(h Hook) { s.hooks = append(s.hooks, h) }
+
+// EnableStageTiming records per-stage wall-clock into every
+// TickState.StageNanos the bus delivers. Off by default (each tick
+// costs a handful of clock reads when on); purely observational, so
+// virtual-time results are unaffected either way.
+func (s *Session) EnableStageTiming() { s.clock.enabled = true }
 
 // Done reports whether the workload has completed.
 func (s *Session) Done() bool { return s.done }
@@ -389,211 +410,10 @@ func (s *Session) LastRow() (trace.Row, bool) {
 	return s.run.Rows[len(s.run.Rows)-1], true
 }
 
-// Step advances the session by one monitoring interval and reports
-// whether the workload completed.
-func (s *Session) Step() (bool, error) {
-	if s.done {
-		return true, nil
-	}
-	if s.tick >= s.m.maxTicks {
-		return false, fmt.Errorf("machine: run %s/%s exceeded %d ticks", s.w.Name, s.policy, s.m.maxTicks)
-	}
-	s.tick++
-	m := s.m
-	ps := s.act.Current()
-	interval := m.period
-
-	// Per-interval workload intensity jitter, identical across
-	// policies for a given seed+workload+tick.
-	jitter := 1.0
-	if s.w.JitterPct > 0 {
-		g := s.rng.NormFloat64()
-		if g > 2 {
-			g = 2
-		}
-		if g < -2 {
-			g = -2
-		}
-		jitter = 1 + s.w.JitterPct*g
-		if jitter < 0.2 {
-			jitter = 0.2
-		}
-	}
-
-	var (
-		sample     counters.Sample
-		busy       time.Duration // compute time within interval
-		instrs     float64
-		lastPhase  string
-		activeTime = interval
-	)
-	// Transition stall consumes interval time with the core halted,
-	// as does the stopped fraction of a modulated clock (T-states).
-	stall := s.pendStall
-	if stall > activeTime {
-		stall = activeTime
-	}
-	s.pendStall -= stall
-	if s.duty < 1 {
-		stall += time.Duration(float64(activeTime-stall) * (1 - s.duty))
-	}
-	remaining := activeTime - stall
-
-	for remaining > 0 && !s.st.exhausted {
-		p := s.st.current()
-		lastPhase = p.Name
-		if p.Idle() {
-			idle := s.st.remIdle
-			if idle > remaining {
-				s.st.remIdle -= remaining
-				remaining = 0
-				break
-			}
-			remaining -= idle
-			s.st.remIdle = 0
-			s.st.advance()
-			continue
-		}
-		b := p.At(ps)
-		ipcEff := b.IPC * jitter
-		cyclesAvail := ps.FreqHz() * remaining.Seconds()
-		instrPossible := cyclesAvail * ipcEff
-		if instrPossible >= s.st.remInstr {
-			// Phase completes within the interval.
-			cyclesUsed := s.st.remInstr / ipcEff
-			dt := time.Duration(cyclesUsed / ps.FreqHz() * float64(time.Second))
-			if dt > remaining {
-				dt = remaining
-			}
-			addActivity(&sample, b, jitter, cyclesUsed)
-			instrs += s.st.remInstr
-			busy += dt
-			remaining -= dt
-			s.st.advance()
-			continue
-		}
-		addActivity(&sample, b, jitter, cyclesAvail)
-		instrs += instrPossible
-		s.st.remInstr -= instrPossible
-		busy += remaining
-		remaining = 0
-	}
-	// Interval may end early if the workload finished mid-interval;
-	// a zero-length interval means it was already exhausted.
-	used := interval - remaining
-	if used <= 0 {
-		s.done = true
-		return true, nil
-	}
-
-	truePower := m.intervalPower(s.act.CurrentIndex(), sample, busy, used)
-	measured := m.chain.Measure(truePower, s.rng)
-	// The governor-visible sample; fault injection corrupts it (and
-	// the measured power) without touching the true physics above.
-	observed := sample
-	if s.inj != nil {
-		s.inj.BeginTick()
-		observed = s.inj.Counters(sample)
-		measured = s.inj.Sense(measured)
-		for _, e := range s.inj.Drain() {
-			s.run.AddDegradation(trace.Degradation{
-				T: s.now + used, Source: e.Source, Kind: e.Kind, Detail: e.Detail,
-			})
-		}
-	}
-	s.energyTrue.Add(truePower, used.Seconds())
-	if !math.IsNaN(measured) {
-		// Dropped acquisitions contribute no measured energy, the way
-		// the paper's integration simply lacks the missing samples.
-		s.energyMeas.Add(measured, used.Seconds())
-	}
-	m.recorder.Record(s.now+used, measured)
-	var tempC float64
-	if s.tm != nil {
-		s.tm.Step(truePower, used)
-		tempC = s.tm.SensorC()
-	}
-
-	s.run.Rows = append(s.run.Rows, trace.Row{
-		T:              s.now,
-		Interval:       used,
-		FreqMHz:        ps.FreqMHz,
-		DPC:            observed.DPC(),
-		IPC:            observed.IPC(),
-		DCU:            observed.DCU(),
-		L2PC:           observed.L2PC(),
-		MemPC:          observed.MemPC(),
-		TruePowerW:     truePower,
-		MeasuredPowerW: measured,
-		Instructions:   instrs,
-		Phase:          lastPhase,
-		TempC:          tempC,
-		Duty:           s.duty,
-	})
-	s.now += used
-	s.run.Instructions += instrs
-
-	if s.st.exhausted {
-		s.done = true
-		return true, nil
-	}
-	if s.g != nil {
-		want := s.g.Tick(TickInfo{
-			Now:            s.now,
-			Interval:       used,
-			Sample:         observed,
-			PState:         ps,
-			PStateIndex:    s.act.CurrentIndex(),
-			Table:          m.table,
-			MeasuredPowerW: measured,
-			TempC:          tempC,
-			Duty:           s.duty,
-		})
-		if dr, ok := s.g.(DegradationReporter); ok {
-			for _, d := range dr.DrainDegradations() {
-				d.T = s.now
-				s.run.AddDegradation(d)
-			}
-		}
-		if want != s.act.CurrentIndex() {
-			ok, extra := true, time.Duration(0)
-			if s.inj != nil {
-				ok, extra = s.inj.Transition(s.act.Latency())
-				for _, e := range s.inj.Drain() {
-					s.run.AddDegradation(trace.Degradation{
-						T: s.now, Source: e.Source, Kind: e.Kind, Detail: e.Detail,
-					})
-				}
-			}
-			if ok {
-				d, err := s.act.Set(want)
-				if err != nil {
-					return false, fmt.Errorf("machine: governor %s: %w", s.policy, err)
-				}
-				s.pendStall += d + extra
-			} else {
-				// Transition abandoned: the actuator stays put and the
-				// failed attempts' stall time is still paid.
-				s.act.RecordFailure(extra)
-				s.pendStall += extra
-			}
-		}
-		if th, ok := s.g.(Throttler); ok {
-			s.duty = th.Duty()
-			if s.duty > 1 {
-				s.duty = 1
-			}
-			if s.duty < 0.05 {
-				s.duty = 0.05
-			}
-		}
-	}
-	return false, nil
-}
-
 // Result finalizes and returns the recorded trace. It may be called
 // once the session is done (or early, to inspect a truncated run);
-// finalization is idempotent.
+// finalization is idempotent and fires each hook's OnDone exactly
+// once.
 func (s *Session) Result() *trace.Run {
 	if !s.finalized {
 		s.m.recorder.Mark(s.now, s.w.Name, false)
@@ -603,6 +423,9 @@ func (s *Session) Result() *trace.Run {
 		s.run.Transitions = s.act.Transitions()
 		s.run.FailedTransitions = s.act.FailedTransitions()
 		s.finalized = true
+		for _, h := range s.hooks {
+			h.OnDone(s.run)
+		}
 	}
 	return s.run
 }
@@ -610,9 +433,18 @@ func (s *Session) Result() *trace.Run {
 // Run executes w under governor g (nil g pins the start p-state) and
 // returns the recorded trace.
 func (m *Machine) Run(w phase.Workload, g Governor) (*trace.Run, error) {
+	return m.RunWith(w, g)
+}
+
+// RunWith executes w under governor g with the given hooks subscribed
+// to the session's tick bus, returning the recorded trace.
+func (m *Machine) RunWith(w phase.Workload, g Governor, hooks ...Hook) (*trace.Run, error) {
 	s, err := m.NewSession(w, g)
 	if err != nil {
 		return nil, err
+	}
+	for _, h := range hooks {
+		s.Subscribe(h)
 	}
 	for {
 		done, err := s.Step()

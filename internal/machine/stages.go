@@ -1,0 +1,235 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Step advances the session by one monitoring interval and reports
+// whether the workload completed. It drives the staged tick engine:
+// execute → measure → observe → govern → actuate, each stage writing
+// into one TickState record that the hook bus receives at the end of
+// the interval.
+func (s *Session) Step() (bool, error) {
+	if s.done {
+		return true, nil
+	}
+	if s.tick >= s.m.maxTicks {
+		return false, fmt.Errorf("machine: run %s/%s exceeded %d ticks", s.w.Name, s.policy, s.m.maxTicks)
+	}
+	s.tick++
+	ts := TickState{
+		Tick:        s.tick,
+		Start:       s.now,
+		Interval:    s.m.period,
+		PState:      s.act.Current(),
+		PStateIndex: s.act.CurrentIndex(),
+		Duty:        s.duty,
+		Jitter:      1.0,
+	}
+	ts.WantIndex = ts.PStateIndex
+	ts.NextDuty = ts.Duty
+
+	s.clock.start()
+	if !s.execute(&ts) {
+		// The workload was already exhausted: nothing ran, so there is
+		// no interval to report.
+		s.done = true
+		return true, nil
+	}
+	s.clock.mark(&ts, StageExecute)
+	s.measure(&ts)
+	s.clock.mark(&ts, StageMeasure)
+	s.observe(&ts)
+	s.clock.mark(&ts, StageObserve)
+
+	s.now += ts.Used
+	if s.st.exhausted {
+		ts.Final = true
+		s.done = true
+		s.emitTick(ts)
+		return true, nil
+	}
+
+	s.govern(&ts)
+	s.clock.mark(&ts, StageGovern)
+	if err := s.actuate(&ts); err != nil {
+		return false, err
+	}
+	s.clock.mark(&ts, StageActuate)
+	s.emitTick(ts)
+	return false, nil
+}
+
+// execute advances the workload through the interval: it draws the
+// per-interval intensity jitter, charges pending transition stall and
+// the stopped fraction of a modulated clock, then walks phases
+// accumulating cycles, instructions and counter activity into the
+// tick's sample. It reports false when the workload was already
+// exhausted (zero-length interval).
+func (s *Session) execute(ts *TickState) bool {
+	// Per-interval workload intensity jitter, identical across
+	// policies for a given seed+workload+tick.
+	if s.w.JitterPct > 0 {
+		ts.Jitter = jitterFactor(s.w.JitterPct, s.rng.NormFloat64())
+	}
+
+	// Transition stall consumes interval time with the core halted,
+	// as does the stopped fraction of a modulated clock (T-states).
+	activeTime := ts.Interval
+	stall := s.pendStall
+	if stall > activeTime {
+		stall = activeTime
+	}
+	s.pendStall -= stall
+	if s.duty < 1 {
+		stall += time.Duration(float64(activeTime-stall) * (1 - s.duty))
+	}
+	ts.Stall = stall
+	remaining := activeTime - stall
+
+	ps := ts.PState
+	for remaining > 0 && !s.st.exhausted {
+		p := s.st.current()
+		ts.Phase = p.Name
+		if p.Idle() {
+			idle := s.st.remIdle
+			if idle > remaining {
+				s.st.remIdle -= remaining
+				remaining = 0
+				break
+			}
+			remaining -= idle
+			s.st.remIdle = 0
+			s.st.advance()
+			continue
+		}
+		b := p.At(ps)
+		ipcEff := b.IPC * ts.Jitter
+		cyclesAvail := ps.FreqHz() * remaining.Seconds()
+		instrPossible := cyclesAvail * ipcEff
+		if instrPossible >= s.st.remInstr {
+			// Phase completes within the interval.
+			cyclesUsed := s.st.remInstr / ipcEff
+			dt := time.Duration(cyclesUsed / ps.FreqHz() * float64(time.Second))
+			if dt > remaining {
+				dt = remaining
+			}
+			addActivity(&ts.Sample, b, ts.Jitter, cyclesUsed)
+			ts.Instructions += s.st.remInstr
+			ts.Busy += dt
+			remaining -= dt
+			s.st.advance()
+			continue
+		}
+		addActivity(&ts.Sample, b, ts.Jitter, cyclesAvail)
+		ts.Instructions += instrPossible
+		s.st.remInstr -= instrPossible
+		ts.Busy += remaining
+		remaining = 0
+	}
+	// The interval may end early if the workload finished mid-interval;
+	// a zero-length interval means it was already exhausted.
+	ts.Used = ts.Interval - remaining
+	return ts.Used > 0
+}
+
+// measure produces the interval's power observation: ground-truth
+// interval-average power, the sensing chain's reading of it, and —
+// when a fault plan is active — the injector's corruption of both the
+// reading and the governor-visible counter sample. True and measured
+// energy integrate here, and the acquisition stream records the
+// sample.
+func (s *Session) measure(ts *TickState) {
+	m := s.m
+	ts.TruePowerW = m.intervalPower(ts.PStateIndex, ts.Sample, ts.Busy, ts.Used)
+	ts.MeasuredPowerW = m.chain.Measure(ts.TruePowerW, s.rng)
+	// The governor-visible sample; fault injection corrupts it (and
+	// the measured power) without touching the true physics above.
+	ts.Observed = ts.Sample
+	if s.inj != nil {
+		s.inj.BeginTick()
+		ts.Observed = s.inj.Counters(ts.Sample)
+		ts.MeasuredPowerW = s.inj.Sense(ts.MeasuredPowerW)
+		s.drainInjector(ts.Start + ts.Used)
+	}
+	s.energyTrue.Add(ts.TruePowerW, ts.Used.Seconds())
+	if !math.IsNaN(ts.MeasuredPowerW) {
+		// Dropped acquisitions contribute no measured energy, the way
+		// the paper's integration simply lacks the missing samples.
+		s.energyMeas.Add(ts.MeasuredPowerW, ts.Used.Seconds())
+	}
+	m.recorder.Record(ts.Start+ts.Used, ts.MeasuredPowerW)
+}
+
+// observe finalizes what the monitoring layer exposes beyond the PMU
+// sample: the thermal model integrates the interval's true power and
+// its sensor reading becomes the tick's temperature.
+func (s *Session) observe(ts *TickState) {
+	if s.tm != nil {
+		s.tm.Step(ts.TruePowerW, ts.Used)
+		ts.TempC = s.tm.SensorC()
+	}
+}
+
+// govern runs the policy tick on the interval's observations and
+// drains the governor's graceful-degradation log onto the bus.
+func (s *Session) govern(ts *TickState) {
+	if s.g == nil {
+		return
+	}
+	ts.WantIndex = s.g.Tick(TickInfo{
+		Now:            s.now,
+		Interval:       ts.Used,
+		Sample:         ts.Observed,
+		PState:         ts.PState,
+		PStateIndex:    ts.PStateIndex,
+		Table:          s.m.table,
+		MeasuredPowerW: ts.MeasuredPowerW,
+		TempC:          ts.TempC,
+		Duty:           ts.Duty,
+	})
+	if dr, ok := s.g.(DegradationReporter); ok {
+		for _, d := range dr.DrainDegradations() {
+			d.T = s.now
+			s.emitDegradation(d)
+		}
+	}
+}
+
+// actuate applies the governed decision: the p-state transition
+// (possibly resolved through a faulted actuator) with its stall
+// charged to upcoming intervals, then the next interval's
+// clock-modulation duty.
+func (s *Session) actuate(ts *TickState) error {
+	if s.g == nil {
+		return nil
+	}
+	if ts.WantIndex != ts.PStateIndex {
+		ok, extra := true, time.Duration(0)
+		if s.inj != nil {
+			ok, extra = s.inj.Transition(s.act.Latency())
+			s.drainInjector(s.now)
+		}
+		if ok {
+			d, err := s.act.Set(ts.WantIndex)
+			if err != nil {
+				return fmt.Errorf("machine: governor %s: %w", s.policy, err)
+			}
+			s.pendStall += d + extra
+			s.emitTransition(Transition{T: s.now, From: ts.PStateIndex, To: ts.WantIndex, OK: true, Stall: d + extra})
+		} else {
+			// Transition abandoned: the actuator stays put and the
+			// failed attempts' stall time is still paid.
+			s.act.RecordFailure(extra)
+			s.pendStall += extra
+			s.emitTransition(Transition{T: s.now, From: ts.PStateIndex, To: ts.WantIndex, OK: false, Stall: extra})
+		}
+	}
+	if th, ok := s.g.(Throttler); ok {
+		s.duty = clampDuty(th.Duty())
+	}
+	ts.NextDuty = s.duty
+	return nil
+}

@@ -1,0 +1,335 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"aapm/internal/faults"
+	"aapm/internal/phase"
+	"aapm/internal/trace"
+)
+
+// newTickState builds the record Step seeds each interval with, so
+// stage bodies can be exercised in isolation.
+func newTickState(s *Session) TickState {
+	ts := TickState{
+		Tick:        s.tick + 1,
+		Start:       s.now,
+		Interval:    s.m.period,
+		PState:      s.act.Current(),
+		PStateIndex: s.act.CurrentIndex(),
+		Duty:        s.duty,
+		Jitter:      1.0,
+	}
+	ts.WantIndex = ts.PStateIndex
+	ts.NextDuty = ts.Duty
+	return ts
+}
+
+func mustSession(t *testing.T, cfg Config, w phase.Workload, g Governor) *Session {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.NewSession(w, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExecuteIdlePhase(t *testing.T) {
+	w := phase.Workload{
+		Name: "idle-first",
+		Phases: []phase.Params{
+			{Name: "idle", IdleDuration: 100 * time.Millisecond},
+			{Name: "work", Instructions: 1e8, CPICore: 0.5, MLP: 1, SpecFactor: 1.1},
+		},
+	}
+	s := mustSession(t, Config{Seed: 1}, w, nil)
+	ts := newTickState(s)
+	if !s.execute(&ts) {
+		t.Fatal("execute reported exhausted on a fresh workload")
+	}
+	if ts.Used != ts.Interval {
+		t.Errorf("idle interval Used = %v, want full %v", ts.Used, ts.Interval)
+	}
+	if ts.Busy != 0 {
+		t.Errorf("idle interval Busy = %v, want 0", ts.Busy)
+	}
+	if ts.Instructions != 0 {
+		t.Errorf("idle interval retired %g instructions, want 0", ts.Instructions)
+	}
+	if ts.Phase != "idle" {
+		t.Errorf("phase = %q, want idle", ts.Phase)
+	}
+	if ts.Stall != 0 {
+		t.Errorf("stall = %v, want 0", ts.Stall)
+	}
+}
+
+func TestExecuteExhaustedWorkload(t *testing.T) {
+	s := mustSession(t, Config{Seed: 1}, testWorkload(1e7), nil)
+	for {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	ts := newTickState(s)
+	if s.execute(&ts) {
+		t.Error("execute on an exhausted workload reported work done")
+	}
+	if ts.Used != 0 {
+		t.Errorf("exhausted interval Used = %v, want 0", ts.Used)
+	}
+	// Step stays terminal and side-effect free once done.
+	rows := len(s.run.Rows)
+	done, err := s.Step()
+	if err != nil || !done {
+		t.Errorf("Step after done = (%v, %v), want (true, nil)", done, err)
+	}
+	if len(s.run.Rows) != rows {
+		t.Errorf("Step after done appended rows: %d -> %d", rows, len(s.run.Rows))
+	}
+}
+
+func TestExecuteChargesPendingStall(t *testing.T) {
+	s := mustSession(t, Config{Seed: 1}, testWorkload(1e9), nil)
+	s.pendStall = 3 * time.Millisecond
+	ts := newTickState(s)
+	if !s.execute(&ts) {
+		t.Fatal("execute reported exhausted")
+	}
+	if ts.Stall != 3*time.Millisecond {
+		t.Errorf("stall = %v, want 3ms", ts.Stall)
+	}
+	if s.pendStall != 0 {
+		t.Errorf("pending stall not consumed: %v", s.pendStall)
+	}
+	if ts.Busy > ts.Interval-ts.Stall {
+		t.Errorf("busy %v exceeds interval minus stall", ts.Busy)
+	}
+}
+
+func TestMeasureNaNDropout(t *testing.T) {
+	s := mustSession(t, Config{
+		Seed:   1,
+		Faults: &faults.Plan{Sensor: faults.SensorPlan{DropoutProb: 1, DropoutTicks: 1}},
+	}, testWorkload(5e8), nil)
+	for {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	run := s.Result()
+	if len(run.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i, r := range run.Rows {
+		if !math.IsNaN(r.MeasuredPowerW) {
+			t.Fatalf("row %d measured %g W, want NaN under total dropout", i, r.MeasuredPowerW)
+		}
+	}
+	// Ground truth is untouched: true energy integrates, measured does
+	// not (dropped acquisitions contribute nothing).
+	if run.EnergyJ <= 0 {
+		t.Error("true energy not integrated")
+	}
+	if run.MeasuredEnergyJ != 0 {
+		t.Errorf("measured energy %g J, want 0 under total dropout", run.MeasuredEnergyJ)
+	}
+	if len(run.Degradations) == 0 {
+		t.Error("dropout faults produced no degradation log entries")
+	}
+}
+
+// transitionTap records every transition event on the bus.
+type transitionTap struct {
+	BaseHook
+	events []Transition
+}
+
+func (h *transitionTap) OnTransition(tr Transition) { h.events = append(h.events, tr) }
+
+func TestActuateAbandonedTransition(t *testing.T) {
+	s := mustSession(t, Config{
+		Seed:              1,
+		TransitionLatency: time.Millisecond,
+		Faults:            &faults.Plan{Actuator: faults.ActuatorPlan{FailProb: 1, Retries: 0}},
+	}, testWorkload(5e8), &flipGov{})
+	tap := &transitionTap{}
+	s.Subscribe(tap)
+	for {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	run := s.Result()
+	if len(tap.events) == 0 {
+		t.Fatal("flip governor produced no transition attempts")
+	}
+	for i, tr := range tap.events {
+		if tr.OK {
+			t.Fatalf("event %d OK with FailProb=1", i)
+		}
+		if tr.Stall != time.Millisecond {
+			t.Errorf("event %d stall = %v, want the failed attempt's 1ms", i, tr.Stall)
+		}
+	}
+	// The actuator never moves: every interval stays at the start state.
+	for i, r := range run.Rows {
+		if r.FreqMHz != run.Rows[0].FreqMHz {
+			t.Fatalf("row %d at %d MHz despite abandoned transitions", i, r.FreqMHz)
+		}
+	}
+	if run.Transitions != 0 {
+		t.Errorf("run counted %d applied transitions, want 0", run.Transitions)
+	}
+	if run.FailedTransitions != len(tap.events) {
+		t.Errorf("run.FailedTransitions = %d, want %d", run.FailedTransitions, len(tap.events))
+	}
+}
+
+// busTap counts bus events and checks the canonical recorder ran first.
+type busTap struct {
+	name     string
+	order    *[]string
+	run      *trace.Run
+	t        *testing.T
+	ticks    int
+	dones    int
+	trans    int
+	degrades int
+}
+
+func (h *busTap) OnTick(ts TickState) {
+	h.ticks++
+	*h.order = append(*h.order, h.name)
+	// The recorder subscribes first, so the row for this tick is
+	// already appended when later hooks observe it.
+	if len(h.run.Rows) != h.ticks {
+		h.t.Errorf("hook %s saw %d rows at tick %d", h.name, len(h.run.Rows), h.ticks)
+	}
+}
+
+func (h *busTap) OnTransition(Transition) { h.trans++ }
+
+func (h *busTap) OnDegradation(trace.Degradation) { h.degrades++ }
+
+func (h *busTap) OnDone(*trace.Run) { h.dones++ }
+
+func TestHookBusOrderAndCounts(t *testing.T) {
+	s := mustSession(t, Config{Seed: 1}, testWorkload(3e8), &flipGov{})
+	var order []string
+	a := &busTap{name: "a", order: &order, run: s.run, t: t}
+	b := &busTap{name: "b", order: &order, run: s.run, t: t}
+	s.Subscribe(a)
+	s.Subscribe(b)
+	for {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	run := s.Result()
+	if a.ticks != len(run.Rows) || b.ticks != len(run.Rows) {
+		t.Errorf("tick events %d/%d, want %d (one per row)", a.ticks, b.ticks, len(run.Rows))
+	}
+	if a.trans != run.Transitions {
+		t.Errorf("transition events %d, want %d", a.trans, run.Transitions)
+	}
+	if a.dones != 1 {
+		t.Errorf("OnDone fired %d times, want 1", a.dones)
+	}
+	s.Result() // finalization is idempotent
+	if a.dones != 1 {
+		t.Errorf("second Result re-fired OnDone: %d", a.dones)
+	}
+	// Subscription order holds on every tick: a before b.
+	if len(order) != 2*len(run.Rows) {
+		t.Fatalf("order log has %d entries, want %d", len(order), 2*len(run.Rows))
+	}
+	for i := 0; i < len(order); i += 2 {
+		if order[i] != "a" || order[i+1] != "b" {
+			t.Fatalf("tick %d fired hooks as %v, want [a b]", i/2, order[i:i+2])
+		}
+	}
+}
+
+// timingTap sums per-stage wall-clock across ticks.
+type timingTap struct {
+	BaseHook
+	nanos [NumStages]int64
+}
+
+func (h *timingTap) OnTick(ts TickState) {
+	for i, n := range ts.StageNanos {
+		h.nanos[i] += n
+	}
+}
+
+func (h *timingTap) total() int64 {
+	var sum int64
+	for _, n := range h.nanos {
+		sum += n
+	}
+	return sum
+}
+
+func TestStageTimingGated(t *testing.T) {
+	// Timing off (the default): every StageNanos stays zero.
+	s := mustSession(t, Config{Seed: 1}, testWorkload(2e8), nil)
+	off := &timingTap{}
+	s.Subscribe(off)
+	for {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if off.total() != 0 {
+		t.Errorf("stage timing recorded %d ns while disabled", off.total())
+	}
+
+	// Timing on: the run accumulates nonzero wall-clock, and the
+	// virtual-time result is unaffected.
+	s2 := mustSession(t, Config{Seed: 1}, testWorkload(2e8), nil)
+	on := &timingTap{}
+	s2.Subscribe(on)
+	s2.EnableStageTiming()
+	for {
+		done, err := s2.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if on.total() <= 0 {
+		t.Error("stage timing enabled but no wall-clock recorded")
+	}
+	if d1, d2 := s.Result().Duration, s2.Result().Duration; d1 != d2 {
+		t.Errorf("stage timing changed virtual duration: %v vs %v", d1, d2)
+	}
+}

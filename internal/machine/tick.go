@@ -1,0 +1,228 @@
+package machine
+
+import (
+	"time"
+
+	"aapm/internal/counters"
+	"aapm/internal/pstate"
+	"aapm/internal/trace"
+)
+
+// The staged tick engine decomposes one monitoring interval into five
+// named stages, mirroring the paper's Monitor → Estimate/Predict →
+// Control loop (§III) plus the physics that drives it:
+//
+//	execute  — phase advance, stall accounting, instruction/cycle work
+//	measure  — ground-truth power → sensor chain → fault corruption
+//	observe  — what the monitoring layer exposes (PMU sample, thermal)
+//	govern   — the policy tick and its degradation drain
+//	actuate  — p-state transition, T-state duty, stall charging
+//
+// Stage indices into TickState.StageNanos and StageNames.
+const (
+	StageExecute = iota
+	StageMeasure
+	StageObserve
+	StageGovern
+	StageActuate
+
+	// NumStages is the number of engine stages per tick.
+	NumStages
+)
+
+// StageNames labels the stages in StageNanos order.
+var StageNames = [NumStages]string{"execute", "measure", "observe", "govern", "actuate"}
+
+// TickState is the single record one monitoring interval accumulates
+// as it flows through the staged engine. Every stage reads what
+// earlier stages wrote and fills in its own fields; hooks receive the
+// completed record once per interval.
+type TickState struct {
+	// Tick is the 1-based interval ordinal within the run.
+	Tick int
+	// Start is the virtual time at interval start; Interval the
+	// configured monitoring period; Used the portion actually simulated
+	// (the final interval may end early when the workload completes).
+	Start    time.Duration
+	Interval time.Duration
+	Used     time.Duration
+
+	// PState is the state the interval executed at; PStateIndex its
+	// table index. Transitions apply to the *next* interval.
+	PState      pstate.PState
+	PStateIndex int
+	// Duty is the clock-modulation duty cycle the interval ran at.
+	Duty float64
+	// Jitter is the interval's workload-intensity multiplier.
+	Jitter float64
+
+	// Stall is halted time charged this interval (pending transition
+	// latency plus the stopped fraction of a modulated clock); Busy is
+	// compute time; Instructions the work retired; Phase the workload
+	// phase active at interval end.
+	Stall        time.Duration
+	Busy         time.Duration
+	Instructions float64
+	Phase        string
+
+	// Sample is the true PMU activity; Observed is what the governor
+	// sees (identical unless a fault plan corrupts it).
+	Sample   counters.Sample
+	Observed counters.Sample
+
+	// TruePowerW is ground truth; MeasuredPowerW what the sensing
+	// chain (and fault injector) reported; TempC the thermal sensor
+	// reading at interval end.
+	TruePowerW     float64
+	MeasuredPowerW float64
+	TempC          float64
+
+	// WantIndex is the p-state the governor requested for the next
+	// interval (== PStateIndex when unchanged or ungoverned); NextDuty
+	// the duty cycle the next interval will run at.
+	WantIndex int
+	NextDuty  float64
+
+	// StageNanos holds per-stage wall-clock when the session has
+	// stage timing enabled (Session.EnableStageTiming); all zero
+	// otherwise. Purely observational — never part of virtual time.
+	StageNanos [NumStages]int64
+
+	// Final marks the run's last recorded interval.
+	Final bool
+}
+
+// Transition describes one p-state change attempt the actuate stage
+// resolved.
+type Transition struct {
+	// T is the virtual time of the decision.
+	T time.Duration
+	// From and To are table indices. On a failed attempt the actuator
+	// stays at From.
+	From, To int
+	// OK reports whether the transition took effect (false when a
+	// faulted actuator abandoned it).
+	OK bool
+	// Stall is the latency charged against upcoming intervals.
+	Stall time.Duration
+}
+
+// Hook observes a session's staged tick engine. Implementations
+// subscribe via Session.Subscribe and receive events in subscription
+// order; embed BaseHook to implement only the events of interest.
+// Hooks must not mutate the session they observe.
+type Hook interface {
+	// OnTick fires once per recorded interval, after every stage ran.
+	OnTick(TickState)
+	// OnTransition fires when the actuate stage resolves a p-state
+	// change attempt (successful or abandoned).
+	OnTransition(Transition)
+	// OnDegradation fires for every degradation event — injected
+	// faults and governor graceful-degradation responses — in the
+	// order the stages emit them.
+	OnDegradation(trace.Degradation)
+	// OnDone fires once when the session's result is finalized.
+	OnDone(*trace.Run)
+}
+
+// BaseHook is a no-op Hook for embedding.
+type BaseHook struct{}
+
+// OnTick implements Hook.
+func (BaseHook) OnTick(TickState) {}
+
+// OnTransition implements Hook.
+func (BaseHook) OnTransition(Transition) {}
+
+// OnDegradation implements Hook.
+func (BaseHook) OnDegradation(trace.Degradation) {}
+
+// OnDone implements Hook.
+func (BaseHook) OnDone(*trace.Run) {}
+
+// emitTick fans a completed interval out to the bus.
+func (s *Session) emitTick(ts TickState) {
+	for _, h := range s.hooks {
+		h.OnTick(ts)
+	}
+}
+
+// emitTransition fans a resolved transition out to the bus.
+func (s *Session) emitTransition(tr Transition) {
+	for _, h := range s.hooks {
+		h.OnTransition(tr)
+	}
+}
+
+// emitDegradation fans one degradation event out to the bus. All
+// degradation routing — injector drains and governor drains alike —
+// funnels through here, so the log lives behind the bus instead of
+// three inline drain loops.
+func (s *Session) emitDegradation(d trace.Degradation) {
+	for _, h := range s.hooks {
+		h.OnDegradation(d)
+	}
+}
+
+// drainInjector forwards the fault injector's pending events to the
+// bus, stamped at virtual time t.
+func (s *Session) drainInjector(t time.Duration) {
+	for _, e := range s.inj.Drain() {
+		s.emitDegradation(trace.Degradation{T: t, Source: e.Source, Kind: e.Kind, Detail: e.Detail})
+	}
+}
+
+// runRecorder is the canonical trace hook: it builds the trace.Run
+// rows and degradation log every consumer reads. It is always the
+// bus's first subscriber.
+type runRecorder struct {
+	run *trace.Run
+}
+
+func (r *runRecorder) OnTick(ts TickState) {
+	r.run.Rows = append(r.run.Rows, trace.Row{
+		T:              ts.Start,
+		Interval:       ts.Used,
+		FreqMHz:        ts.PState.FreqMHz,
+		DPC:            ts.Observed.DPC(),
+		IPC:            ts.Observed.IPC(),
+		DCU:            ts.Observed.DCU(),
+		L2PC:           ts.Observed.L2PC(),
+		MemPC:          ts.Observed.MemPC(),
+		TruePowerW:     ts.TruePowerW,
+		MeasuredPowerW: ts.MeasuredPowerW,
+		Instructions:   ts.Instructions,
+		Phase:          ts.Phase,
+		TempC:          ts.TempC,
+		Duty:           ts.Duty,
+	})
+	r.run.Instructions += ts.Instructions
+}
+
+func (r *runRecorder) OnTransition(Transition) {}
+
+func (r *runRecorder) OnDegradation(d trace.Degradation) { r.run.AddDegradation(d) }
+
+func (r *runRecorder) OnDone(*trace.Run) {}
+
+// stageClock stamps per-stage wall-clock into a TickState when
+// enabled; disabled it costs one branch per stage.
+type stageClock struct {
+	enabled bool
+	last    time.Time
+}
+
+func (c *stageClock) start() {
+	if c.enabled {
+		c.last = time.Now()
+	}
+}
+
+func (c *stageClock) mark(ts *TickState, stage int) {
+	if !c.enabled {
+		return
+	}
+	now := time.Now()
+	ts.StageNanos[stage] = now.Sub(c.last).Nanoseconds()
+	c.last = now
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"aapm/internal/control"
+	"aapm/internal/machine"
+	"aapm/internal/phase"
+	"aapm/internal/sensor"
+)
+
+func collectorRun(t *testing.T, limitW float64) (*Collector, int, time.Duration) {
+	t.Helper()
+	m, err := machine.New(machine.Config{Seed: 1, Chain: sensor.NIDefault()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := phase.Workload{
+		Name: "metrics-test",
+		Phases: []phase.Params{{
+			Name: "p", Instructions: 5e8,
+			CPICore: 0.5, L2APKI: 10, MemAPKI: 1, MLP: 2, SpecFactor: 1.2, StallFrac: 0.05,
+		}},
+	}
+	pm, err := control.NewPerformanceMaximizer(control.PMConfig{LimitW: 14.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &Collector{LimitW: limitW}
+	run, err := m.RunWith(w, pm, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check the collector against the canonical trace.
+	if col.Ticks != len(run.Rows) {
+		t.Errorf("Ticks = %d, want %d rows", col.Ticks, len(run.Rows))
+	}
+	if col.Duration != run.Duration {
+		t.Errorf("Duration = %v, want %v", col.Duration, run.Duration)
+	}
+	if col.Transitions != run.Transitions {
+		t.Errorf("Transitions = %d, want %d", col.Transitions, run.Transitions)
+	}
+	if col.FailedTransitions != run.FailedTransitions {
+		t.Errorf("FailedTransitions = %d, want %d", col.FailedTransitions, run.FailedTransitions)
+	}
+	if math.Abs(col.EnergyJ-run.EnergyJ) > 1e-9*run.EnergyJ {
+		t.Errorf("EnergyJ = %g, want %g", col.EnergyJ, run.EnergyJ)
+	}
+	if !col.Done {
+		t.Error("OnDone never fired")
+	}
+	var over int
+	if limitW > 0 {
+		for _, r := range run.Rows {
+			if r.MeasuredPowerW > limitW {
+				over++
+			}
+		}
+	}
+	return col, over, run.Duration
+}
+
+func TestCollectorMatchesRun(t *testing.T) {
+	col, over, _ := collectorRun(t, 14.5)
+	if col.Violations != over {
+		t.Errorf("Violations = %d, want %d rows over limit", col.Violations, over)
+	}
+	if col.Ticks > 0 {
+		want := float64(over) / float64(col.Ticks)
+		if col.ViolationFrac() != want {
+			t.Errorf("ViolationFrac = %g, want %g", col.ViolationFrac(), want)
+		}
+	}
+	if avg := col.AvgPowerW(); avg <= 0 || avg > 50 {
+		t.Errorf("AvgPowerW = %g, implausible", avg)
+	}
+}
+
+func TestCollectorNoLimitCountsNoViolations(t *testing.T) {
+	col, _, _ := collectorRun(t, 0)
+	if col.Violations != 0 {
+		t.Errorf("Violations = %d with no limit, want 0", col.Violations)
+	}
+	if col.ViolationFrac() != 0 {
+		t.Errorf("ViolationFrac = %g with no limit", col.ViolationFrac())
+	}
+}
+
+func TestCollectorStageTiming(t *testing.T) {
+	m, err := machine.New(machine.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := phase.Workload{
+		Name:   "timing-test",
+		Phases: []phase.Params{{Name: "p", Instructions: 2e8, CPICore: 0.5, MLP: 1, SpecFactor: 1.1}},
+	}
+	col := &Collector{}
+	s, err := m.NewSession(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Subscribe(col)
+	s.EnableStageTiming()
+	for {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	s.Result()
+	if col.StageTotal() <= 0 {
+		t.Error("stage timing enabled but StageTotal is zero")
+	}
+	var b strings.Builder
+	if err := col.Print(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range machine.StageNames {
+		if !strings.Contains(out, name) {
+			t.Errorf("Print output missing stage %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestCollectorPrint(t *testing.T) {
+	col, _, _ := collectorRun(t, 14.5)
+	var b strings.Builder
+	if err := col.Print(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"ticks", "transitions", "energy", "violations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "per-stage wall-clock") {
+		t.Error("per-stage section printed without timing enabled")
+	}
+	// Zero-value collector prints without dividing by zero.
+	var zero Collector
+	var zb strings.Builder
+	if err := zero.Print(&zb); err != nil {
+		t.Fatal(err)
+	}
+	if zero.AvgPowerW() != 0 || zero.ViolationFrac() != 0 {
+		t.Error("zero-value collector derived nonzero ratios")
+	}
+}

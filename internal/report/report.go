@@ -112,6 +112,19 @@ func Generate(ctx *experiment.Context, w io.Writer) error {
 		})
 	}
 
+	eng, err := ctx.EngineMetrics()
+	if err != nil {
+		return err
+	}
+	p.h2("Staged engine metrics")
+	p.linef("Per-run counters aggregated by a Hook-bus subscriber on %s (PM limit %.1f W).",
+		eng.Workload, eng.LimitW)
+	p.table([]string{"policy", "ticks", "transitions", "stall ms", "energy J", "avg W", "over-limit"}, func(add func(...string)) {
+		for _, r := range eng.Rows {
+			add(r.Policy, fmt.Sprint(r.Ticks), fmt.Sprint(r.Transitions), f1(r.StallMs), f1(r.EnergyJ), f2(r.AvgPowerW), fmt.Sprint(r.Violations))
+		}
+	})
+
 	base, err := ctx.BaselineComparison()
 	if err != nil {
 		return err

@@ -1,0 +1,93 @@
+package aapm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// stagedGoldenRun is goldenRun's staged-engine twin: instead of
+// Machine.Run it steps a session manually with extra hooks subscribed
+// and stage timing enabled — everything that must NOT perturb the
+// canonical trace.
+func stagedGoldenRun(t *testing.T, gov Governor) (*Run, *RunMetrics) {
+	t.Helper()
+	w, err := Workload("ammp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iterations = 1
+	m, err := NewPlatform(PlatformConfig{Chain: NIChain(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.NewSession(w, gov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewMetricsCollector(14.5)
+	s.Subscribe(col)
+	s.Subscribe(HookBase{}) // a second, inert subscriber
+	s.EnableStageTiming()
+	for {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	return s.Result(), col
+}
+
+// The staged engine with a loaded hook bus must reproduce the seed
+// golden traces byte-for-byte: subscribers and stage timing are
+// observational only.
+func TestStagedEngineMatchesGoldenPM(t *testing.T) {
+	pm, err := NewPerformanceMaximizer(PMConfig{LimitW: 14.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, col := stagedGoldenRun(t, pm)
+	checkGolden(t, "golden_pm_ammp.csv", run)
+	if col.Ticks != len(run.Rows) {
+		t.Errorf("collector saw %d ticks, trace has %d rows", col.Ticks, len(run.Rows))
+	}
+	if col.StageTotal() <= 0 {
+		t.Error("stage timing enabled but nothing recorded")
+	}
+}
+
+func TestStagedEngineMatchesGoldenPS(t *testing.T) {
+	ps, err := NewPowerSave(PSConfig{Floor: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, _ := stagedGoldenRun(t, ps)
+	checkGolden(t, "golden_ps_ammp.csv", run)
+}
+
+// Stepping a session by hand and Machine.Run are the same engine: the
+// traces they produce are byte-identical.
+func TestStagedEngineMatchesRun(t *testing.T) {
+	mk := func(staged bool) *bytes.Buffer {
+		pm, err := NewPerformanceMaximizer(PMConfig{LimitW: 14.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var run *Run
+		if staged {
+			run, _ = stagedGoldenRun(t, pm)
+		} else {
+			run = goldenRun(t, pm)
+		}
+		var buf bytes.Buffer
+		if err := run.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	if !bytes.Equal(mk(true).Bytes(), mk(false).Bytes()) {
+		t.Fatal("manually stepped session diverged from Machine.Run")
+	}
+}
