@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	aapm-eval [-seed N] [-scale N] [-repeats N] [-exp list] [-markdown] [-list]
+//	aapm-eval [-seed N] [-scale N] [-repeats N] [-par N] [-exp list] [-markdown] [-list]
 //
 // -exp selects a comma-separated subset by registry name (see -list);
 // the default runs everything. -markdown emits one consolidated report
@@ -24,6 +24,7 @@ func main() {
 	seed := flag.Int64("seed", 7, "simulation seed")
 	scale := flag.Int("scale", 1, "divide workload lengths by N for quicker runs")
 	repeats := flag.Int("repeats", 1, "runs per configuration; median reported (paper uses 3)")
+	par := flag.Int("par", 0, "bound on concurrent runs and cluster stepping workers (0 = GOMAXPROCS)")
 	exps := flag.String("exp", "", "comma-separated experiment subset (default: all)")
 	markdown := flag.Bool("markdown", false, "emit a single markdown report instead of per-experiment text")
 	list := flag.Bool("list", false, "list available experiments and exit")
@@ -36,7 +37,7 @@ func main() {
 		return
 	}
 
-	ctx, err := experiment.NewContext(experiment.Options{Seed: *seed, ScaleDown: *scale, Repeats: *repeats})
+	ctx, err := experiment.NewContext(experiment.Options{Seed: *seed, ScaleDown: *scale, Repeats: *repeats, Parallelism: *par})
 	if err != nil {
 		fatal(err)
 	}

@@ -9,15 +9,26 @@
 // limits: each epoch a node's share follows its measured appetite,
 // floored so no node starves, so slack left by memory-bound phases
 // flows to power-hungry neighbours within the same global cap.
+//
+// Stepping is parallel: each tick the active sessions are stepped
+// concurrently across a persistent worker pool (Config.Workers), with
+// a barrier before the coordinator reads any node state. Traces are
+// identical for every worker count — each node owns its seeded RNG
+// and its tap, workers never share mutable state, and all cross-node
+// reads happen post-barrier in node-index order (see DESIGN.md,
+// "Parallel cluster coordinator").
 package cluster
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"time"
 
 	"aapm/internal/control"
 	"aapm/internal/machine"
+	"aapm/internal/metrics"
 	"aapm/internal/phase"
 	"aapm/internal/pstate"
 	"aapm/internal/sensor"
@@ -50,6 +61,12 @@ type Config struct {
 	// Static disables reallocation: every node keeps BudgetW/len(Nodes)
 	// for the whole run (the naive equal split baseline).
 	Static bool
+	// Workers bounds the stepping goroutines: each tick the active
+	// sessions are stepped concurrently across min(Workers, nodes)
+	// workers. 0 selects min(GOMAXPROCS, nodes); 1 steps every node
+	// in the coordinator goroutine (the serial reference). The traces
+	// are identical for every value.
+	Workers int
 }
 
 // Result is the co-simulation outcome.
@@ -64,10 +81,29 @@ type Result struct {
 	// Makespan is the time until the last node finished.
 	Makespan time.Duration
 	// PeakTotalW is the highest lockstep-interval sum of measured
-	// node powers; OverFrac is the fraction of intervals where that
-	// sum exceeded the budget.
+	// node powers across the whole run.
 	PeakTotalW float64
-	OverFrac   float64
+	// OverFrac is the fraction of all lockstep intervals — including
+	// the tail where some nodes have already finished — whose total
+	// measured power exceeded the budget. It is the physical
+	// shared-supply view: the supply is violated whenever the sum of
+	// whatever is still drawing exceeds the cap, so tail intervals
+	// legitimately count (and, with fewer nodes drawing, almost never
+	// violate, which dilutes the ratio on runs with long tails).
+	OverFrac float64
+	// ContendedOverFrac is the same ratio restricted to contended
+	// intervals — those where every node was still active. It is the
+	// coordinator-quality view: the only intervals where reallocation
+	// has to arbitrate the full population, undiluted by the tail.
+	// ContendedIntervals counts them.
+	ContendedOverFrac  float64
+	ContendedIntervals int
+	// Workers is the stepping-goroutine count the run used; TickWall
+	// aggregates the coordinator's per-tick wall-clock (stepping,
+	// barrier, aggregation and reallocation), so worker-pool speedups
+	// are observable without instrumenting the caller.
+	Workers  int
+	TickWall metrics.WallClock
 }
 
 // Run executes the co-simulation.
@@ -89,6 +125,13 @@ func Run(cfg Config) (*Result, error) {
 	epoch := cfg.EpochTicks
 	if epoch <= 0 {
 		epoch = 50
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
 	}
 
 	share := cfg.BudgetW / float64(n)
@@ -128,91 +171,219 @@ func Run(cfg Config) (*Result, error) {
 		pms[i] = pm
 	}
 
-	res := &Result{Names: names}
-	recent := make([]float64, n) // epoch-average measured power
+	st := &stepper{
+		workers:  workers,
+		sessions: sessions,
+		stepped:  make([]bool, n),
+		errs:     make([]error, n),
+	}
+	var pool *workerPool
+	if workers > 1 {
+		pool = newWorkerPool(workers, st.shard)
+		defer pool.close()
+	}
+
+	res := &Result{Names: names, Workers: workers}
+	limits := make([]float64, n) // each node's current share
+	for i := range limits {
+		limits[i] = share
+	}
+	// Per-epoch accumulators: usable (finite) measured power and
+	// observed decode rate, and the count of usable ticks. recentN==0
+	// at a reallocation means the node produced no usable observation
+	// the whole epoch.
+	recentW := make([]float64, n)
+	recentDPC := make([]float64, n)
 	recentN := make([]int, n)
-	var intervals, overIntervals int
+	lastSeq := make([]uint64, n)  // tap sequence at the previous tick
+	epochFresh := make([]bool, n) // tap advanced at all this epoch
+	demands := make([]demand, n)
+	var intervals, overIntervals, contended, overContended int
 
 	for tick := 0; ; tick++ {
+		t0 := time.Now()
+		for i := range st.stepped {
+			st.stepped[i] = false
+		}
+		if pool != nil {
+			pool.tick()
+		} else {
+			st.shard(0)
+		}
+		// Post-barrier: every cross-node read below happens in
+		// node-index order on the coordinator goroutine, so the
+		// aggregate state is identical for every worker count. The
+		// first error by node index wins, deterministically.
+		for i, err := range st.errs {
+			if err != nil {
+				return nil, fmt.Errorf("cluster: node %s: %w", names[i], err)
+			}
+		}
 		anyActive := false
+		allActive := true
 		var totalW float64
-		for i, s := range sessions {
-			if s.Done() {
+		for i := range sessions {
+			if !st.stepped[i] {
+				allActive = false
 				continue
 			}
 			anyActive = true
-			if _, err := s.Step(); err != nil {
-				return nil, fmt.Errorf("cluster: node %s: %w", names[i], err)
+			// Only a tap refreshed by this tick contributes; a session
+			// that stepped into completion without emitting an interval
+			// would otherwise replay its previous tick's power.
+			if taps[i].seq == lastSeq[i] {
+				continue
 			}
-			if taps[i].ok {
-				w := taps[i].last.MeasuredPowerW
-				totalW += w
-				recent[i] += w
-				recentN[i]++
+			lastSeq[i] = taps[i].seq
+			epochFresh[i] = true
+			w := taps[i].last.MeasuredPowerW
+			dpc := taps[i].last.Observed.DPC()
+			if !usable(w) || !usable(dpc) {
+				continue
 			}
+			totalW += w
+			recentW[i] += w
+			recentDPC[i] += dpc
+			recentN[i]++
 		}
 		if !anyActive {
+			res.TickWall.Add(time.Since(t0))
 			break
 		}
 		intervals++
 		if totalW > res.PeakTotalW {
 			res.PeakTotalW = totalW
 		}
-		if totalW > cfg.BudgetW {
+		over := totalW > cfg.BudgetW
+		if over {
 			overIntervals++
+		}
+		if allActive {
+			contended++
+			if over {
+				overContended++
+			}
 		}
 
 		if !cfg.Static && tick > 0 && tick%epoch == 0 {
-			reallocate(cfg.BudgetW, floor, table, sessions, taps, pms)
-			for i := range recent {
-				recent[i], recentN[i] = 0, 0
+			for i := range demands {
+				d := &demands[i]
+				*d = demand{active: !sessions[i].Done()}
+				if !d.active {
+					continue
+				}
+				switch {
+				case recentN[i] > 0:
+					// The epoch average, not the last tick: a one-tick
+					// spike must not swing a whole epoch's shares.
+					d.useDPC = true
+					d.dpc = recentDPC[i] / float64(recentN[i])
+					d.avgW = recentW[i] / float64(recentN[i])
+				case !epochFresh[i] && taps[i].ok:
+					// The tap was last written in an earlier epoch: the
+					// node has effectively gone dark (e.g. degraded
+					// offline mid-epoch). Hold its previous share rather
+					// than reallocating on stale data.
+					d.hold = true
+				case taps[i].ok && usable(taps[i].last.Observed.DPC()):
+					// Fresh tap but no full-epoch average (e.g. power
+					// readings dropped all epoch): fall back to the tap.
+					d.useDPC = true
+					d.dpc = taps[i].last.Observed.DPC()
+				}
+			}
+			reallocate(cfg.BudgetW, floor, table, demands, pms, limits)
+			for i := range recentW {
+				recentW[i], recentDPC[i], recentN[i], epochFresh[i] = 0, 0, 0, false
 			}
 		}
+		res.TickWall.Add(time.Since(t0))
 	}
 
-	for i, s := range sessions {
+	for _, s := range sessions {
 		run := s.Result()
 		res.Runs = append(res.Runs, run)
 		res.MachineSeconds += run.Duration.Seconds()
 		if run.Duration > res.Makespan {
 			res.Makespan = run.Duration
 		}
-		_ = i
 	}
 	if intervals > 0 {
 		res.OverFrac = float64(overIntervals) / float64(intervals)
 	}
+	res.ContendedIntervals = contended
+	if contended > 0 {
+		res.ContendedOverFrac = float64(overContended) / float64(contended)
+	}
 	return res, nil
 }
 
+// usable reports whether a tap observation is fit for accumulation
+// (faulted sensors and counters can hand the coordinator NaN/Inf).
+func usable(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 }
+
 // nodeTap subscribes to one node's tick bus and keeps the latest
 // interval's observations for the coordinator, replacing the old
-// pattern of groping the node's trace via LastRow.
+// pattern of groping the node's trace via LastRow. Each tap is owned
+// by exactly one node: during a tick only that node's stepping worker
+// writes it, and the coordinator reads it only after the barrier.
 type nodeTap struct {
 	machine.BaseHook
 	last machine.TickState
+	seq  uint64 // increments per OnTick, so the coordinator can spot stale data
 	ok   bool
 }
 
 // OnTick implements machine.Hook.
-func (t *nodeTap) OnTick(ts machine.TickState) { t.last, t.ok = ts, true }
+func (t *nodeTap) OnTick(ts machine.TickState) { t.last, t.ok = ts, true; t.seq++ }
 
-// reallocate redistributes the budget over the active nodes' desires:
-// each active node asks for the (feedback-corrected) power it would
-// need to run the top p-state at its recent decode rate. Finished
-// nodes release their share.
-func reallocate(budget, floor float64, table *pstate.Table, sessions []*machine.Session, taps []*nodeTap, pms []*control.PerformanceMaximizer) {
+// demand is one node's reallocation input, assembled post-barrier by
+// the coordinator from the epoch accumulators and the node's tap.
+type demand struct {
+	// active is false once the node finished (its share is released).
+	active bool
+	// hold keeps the node's previous share: it is active but produced
+	// no fresh observation all epoch, so its tap is stale.
+	hold bool
+	// useDPC marks dpc as valid; dpc is the epoch-average (or, as a
+	// fallback, last-tap) decode rate the desire is evaluated at.
+	useDPC bool
+	dpc    float64
+	// avgW is the epoch-average measured power (0 when unknown): a
+	// lower bound on the node's demand, since it was drawn at the
+	// current — possibly capped — p-state.
+	avgW float64
+}
+
+// budgetMarginW is the small headroom added to each node's desire so
+// intensity jitter does not trip a tightly fitted limit.
+const budgetMarginW = 0.5
+
+// reallocate redistributes the budget over the active nodes' demands:
+// each node with a usable epoch average asks for the power its PM
+// would need to run the top p-state at that average decode rate (at
+// least its average measured draw), held nodes keep their previous
+// share off the top of the budget, and finished nodes release theirs.
+// limits is updated in place with each node's new share.
+func reallocate(budget, floor float64, table *pstate.Table, demands []demand, pms []*control.PerformanceMaximizer, limits []float64) {
 	var idx []int
 	var desires []float64
-	for i, s := range sessions {
-		if s.Done() {
+	var held float64
+	for i := range demands {
+		d := demands[i]
+		if !d.active {
+			continue
+		}
+		if d.hold {
+			held += limits[i]
 			continue
 		}
 		desire := floor
-		if taps[i].ok {
-			// A small margin above the node's own requirement keeps
-			// intensity jitter from tripping a tightly fitted limit.
-			desire = pms[i].BudgetDesireW(table, taps[i].last.Observed.DPC()) + 0.5
+		if d.useDPC {
+			desire = pms[i].BudgetDesireW(table, d.dpc) + budgetMarginW
+			if d.avgW > desire {
+				desire = d.avgW
+			}
 		}
 		idx = append(idx, i)
 		desires = append(desires, desire)
@@ -220,11 +391,19 @@ func reallocate(budget, floor float64, table *pstate.Table, sessions []*machine.
 	if len(idx) == 0 {
 		return
 	}
-	limits := waterfill(budget, floor, desires)
+	avail := budget - held
+	if min := floor * float64(len(idx)); avail < min {
+		// Pathological: held shares squeeze the rest below their
+		// floors. The floor guarantee wins; the overshoot lasts at
+		// most until the held nodes wake or finish.
+		avail = min
+	}
+	lims := waterfill(avail, floor, desires)
 	for k, i := range idx {
-		pms[i].SetLimit(limits[k])
+		limits[i] = lims[k]
+		pms[i].SetLimit(lims[k])
 		if debugHook != nil {
-			debugHook(i, desires[k], limits[k])
+			debugHook(i, desires[k], lims[k])
 		}
 	}
 }

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"aapm/internal/machine"
+)
+
+// stepper owns the per-tick stepping work. Sessions are statically
+// sharded: worker k steps nodes k, k+workers, k+2*workers, … so a
+// node is stepped by the same goroutine for the whole run and no two
+// workers ever touch the same session, tap, stepped flag or error
+// slot. The coordinator reads stepped/errs (and the taps) only after
+// the tick barrier.
+type stepper struct {
+	workers  int
+	sessions []*machine.Session
+	// stepped[i] records that node i was active at tick start and was
+	// stepped this tick; errs[i] holds node i's first step error.
+	// Entry i is written only by the worker owning shard i%workers.
+	stepped []bool
+	errs    []error
+}
+
+// shard steps worker k's nodes for one tick.
+func (st *stepper) shard(k int) {
+	for i := k; i < len(st.sessions); i += st.workers {
+		s := st.sessions[i]
+		if s.Done() || st.errs[i] != nil {
+			continue
+		}
+		st.stepped[i] = true
+		if _, err := s.Step(); err != nil {
+			st.errs[i] = err
+		}
+	}
+}
+
+// workerPool is a persistent set of stepping goroutines, spawned once
+// per cluster run instead of per tick: a run is millions of ticks and
+// per-tick goroutine churn would dwarf the stepping work. The tick
+// handoff is a generation-counter spin barrier rather than channels —
+// a session step is a few hundred nanoseconds, so two channel
+// operations per worker per tick would cost more than the work being
+// parallelized. Workers spin (yielding to the scheduler) on the
+// generation counter, step their shard when it advances, and bump the
+// done counter; the coordinator releases a tick by advancing the
+// generation and spins until every worker reported.
+//
+// The sequentially consistent atomics give the happens-before edges
+// the determinism argument needs: workers' writes (session state,
+// taps, stepped, errs) are made before the done-counter add and so
+// visible to the coordinator once it observes the full count, and the
+// coordinator's writes (SetLimit, cleared stepped flags) are made
+// before the generation advance and so visible to every worker that
+// observes the new generation.
+type workerPool struct {
+	workers int
+	gen     atomic.Uint64 // current tick generation
+	done    atomic.Int64  // workers finished with the current generation
+	closed  atomic.Bool   // set before the final generation advance
+}
+
+// newWorkerPool starts one goroutine per worker; each waits for the
+// generation to advance, runs fn with its worker index, and reports
+// done.
+func newWorkerPool(workers int, fn func(worker int)) *workerPool {
+	p := &workerPool{workers: workers}
+	for k := 0; k < workers; k++ {
+		go func(k int) {
+			var seen uint64
+			for {
+				g := p.gen.Load()
+				if g == seen {
+					runtime.Gosched()
+					continue
+				}
+				if p.closed.Load() {
+					return
+				}
+				seen = g
+				fn(k)
+				p.done.Add(1)
+			}
+		}(k)
+	}
+	return p
+}
+
+// tick runs one stepping round: release every worker, then wait for
+// all of them (the barrier).
+func (p *workerPool) tick() {
+	p.done.Store(0)
+	p.gen.Add(1)
+	for p.done.Load() != int64(p.workers) {
+		runtime.Gosched()
+	}
+}
+
+// close terminates the workers. The pool must be idle (no tick in
+// flight).
+func (p *workerPool) close() {
+	p.closed.Store(true)
+	p.gen.Add(1)
+}

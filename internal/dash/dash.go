@@ -50,6 +50,10 @@ type runMetrics struct {
 	FailedTransitions int     `json:"failed_transitions,omitempty"`
 	StallMs           float64 `json:"stall_ms"`
 	Degradations      int     `json:"degradations,omitempty"`
+	// StageUs is per-stage wall-clock (microseconds, summed over the
+	// run) keyed by machine.StageNames — real time spent simulating,
+	// not virtual time.
+	StageUs map[string]float64 `json:"stage_us,omitempty"`
 }
 
 // runResponse is the JSON payload of /api/run.
@@ -113,12 +117,24 @@ func apiRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	col := &metrics.Collector{}
-	run, err := m.RunWith(wl, gov, col)
+	s, err := m.NewSession(wl, gov)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, toResponse(run, col))
+	s.Subscribe(col)
+	s.EnableStageTiming()
+	for {
+		done, err := s.Step()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if done {
+			break
+		}
+	}
+	writeJSON(w, toResponse(s.Result(), col))
 }
 
 func toResponse(run *trace.Run, col *metrics.Collector) runResponse {
@@ -136,6 +152,12 @@ func toResponse(run *trace.Run, col *metrics.Collector) runResponse {
 			StallMs:           float64(col.StallTime) / float64(time.Millisecond),
 			Degradations:      col.Degradations,
 		},
+	}
+	if col.StageTotal() > 0 {
+		resp.Metrics.StageUs = make(map[string]float64, machine.NumStages)
+		for i, n := range col.StageNanos {
+			resp.Metrics.StageUs[machine.StageNames[i]] = float64(n) / 1e3
+		}
 	}
 	for _, row := range run.Rows {
 		resp.Rows = append(resp.Rows, runRow{

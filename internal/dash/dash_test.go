@@ -6,6 +6,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"aapm/internal/machine"
 )
 
 func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
@@ -68,6 +70,24 @@ func TestAPIRun(t *testing.T) {
 	// The thermal model is always on for the dashboard.
 	if resp.Rows[len(resp.Rows)-1].TempC <= 0 {
 		t.Error("missing temperature series")
+	}
+	// Stage timing is always on for the dashboard: every stage gets a
+	// wall-clock entry and at least one must be nonzero.
+	if len(resp.Metrics.StageUs) != machine.NumStages {
+		t.Fatalf("stage_us has %d entries, want %d: %v", len(resp.Metrics.StageUs), machine.NumStages, resp.Metrics.StageUs)
+	}
+	var total float64
+	for _, us := range resp.Metrics.StageUs {
+		if us < 0 {
+			t.Errorf("negative stage wall-clock: %v", resp.Metrics.StageUs)
+		}
+		total += us
+	}
+	if total <= 0 {
+		t.Errorf("all stage wall-clocks zero: %v", resp.Metrics.StageUs)
+	}
+	if resp.Metrics.Ticks == 0 {
+		t.Error("collector saw no ticks")
 	}
 }
 

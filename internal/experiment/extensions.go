@@ -434,6 +434,11 @@ type SharedBudgetResult struct {
 	// OverFracDyn/OverFracStatic are budget-violation interval
 	// fractions for the two modes.
 	OverFracDyn, OverFracStatic float64
+	// Workers is the stepping-goroutine count each coordinator used;
+	// TickWallUs is the demand-aware coordinator's mean per-tick
+	// wall-clock in microseconds.
+	Workers    int
+	TickWallUs float64
 }
 
 // SharedBudgetRow is one node's completion times under both modes.
@@ -442,7 +447,10 @@ type SharedBudgetRow struct {
 	EqualSec, DemandSec float64
 }
 
-// SharedBudget runs the co-simulation both ways.
+// SharedBudget runs the co-simulation both ways. The two modes run
+// concurrently through the context's bounded parallelism, and each
+// coordinator steps its nodes across the cluster worker pool — the
+// same sharding, one level up.
 func (c *Context) SharedBudget() (*SharedBudgetResult, error) {
 	const budget = 56.0
 	mk := func(static bool) (*cluster.Result, error) {
@@ -460,21 +468,25 @@ func (c *Context) SharedBudget() (*SharedBudgetResult, error) {
 			Seed:    c.opts.Seed,
 			Chain:   c.chain,
 			Static:  static,
+			Workers: c.opts.Parallelism,
 		})
 	}
-	dyn, err := mk(false)
-	if err != nil {
+	results := make([]*cluster.Result, 2)
+	if err := c.forEachN(2, func(i int) error {
+		r, err := mk(i == 1)
+		results[i] = r
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	st, err := mk(true)
-	if err != nil {
-		return nil, err
-	}
+	dyn, st := results[0], results[1]
 	res := &SharedBudgetResult{
 		BudgetW:        budget,
 		Speedup:        st.MachineSeconds / dyn.MachineSeconds,
 		OverFracDyn:    dyn.OverFrac,
 		OverFracStatic: st.OverFrac,
+		Workers:        dyn.Workers,
+		TickWallUs:     float64(dyn.TickWall.Avg().Nanoseconds()) / 1e3,
 	}
 	for i := range dyn.Runs {
 		res.Rows = append(res.Rows, SharedBudgetRow{
@@ -495,7 +507,102 @@ func (r *SharedBudgetResult) Print(w io.Writer) error {
 	for _, row := range r.Rows {
 		fmt.Fprintf(w, "%-8s %12.2f %12.2f\n", row.Node, row.EqualSec, row.DemandSec)
 	}
-	_, err := fmt.Fprintf(w, "demand-aware completes the set %.1f%% faster; budget exceeded %.1f%% (dyn) / %.1f%% (equal) of intervals\n",
-		(r.Speedup-1)*100, r.OverFracDyn*100, r.OverFracStatic*100)
+	if _, err := fmt.Fprintf(w, "demand-aware completes the set %.1f%% faster; budget exceeded %.1f%% (dyn) / %.1f%% (equal) of intervals\n",
+		(r.Speedup-1)*100, r.OverFracDyn*100, r.OverFracStatic*100); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "coordinator: %d stepping worker(s), %.1f us mean wall-clock per tick\n",
+		r.Workers, r.TickWallUs)
+	return err
+}
+
+// ClusterScaleResult is the parallel-coordinator scaling study: one
+// 8-node shared-budget run per worker count, with the coordinator's
+// per-tick wall-clock and a determinism cross-check against the
+// serial reference.
+type ClusterScaleResult struct {
+	Nodes   int
+	BudgetW float64
+	Rows    []ClusterScaleRow
+	// Deterministic is true when every worker count reproduced the
+	// serial reference's aggregates exactly.
+	Deterministic bool
+}
+
+// ClusterScaleRow is one worker count's coordinator cost.
+type ClusterScaleRow struct {
+	Workers     int
+	Ticks       int
+	AvgTickUs   float64
+	MaxTickUs   float64
+	MakespanSec float64
+}
+
+// ClusterScale runs the 8-node shared-budget co-simulation at worker
+// counts 1, 2, 4 and 8 and reports the coordinator's per-tick
+// wall-clock at each. The serial run is the reference; the study also
+// verifies the parallel runs reproduce its schedule exactly, so the
+// table doubles as a determinism check on real workloads.
+func (c *Context) ClusterScale() (*ClusterScaleResult, error) {
+	const budget = 104.0
+	names := []string{"swim", "mcf", "lucas", "crafty", "gzip", "gcc", "art", "ammp"}
+	mk := func(workers int) (*cluster.Result, error) {
+		var ns []cluster.Node
+		for _, name := range names {
+			w, err := c.Workload(name)
+			if err != nil {
+				return nil, err
+			}
+			ns = append(ns, cluster.Node{Workload: w})
+		}
+		return cluster.Run(cluster.Config{
+			BudgetW: budget,
+			Nodes:   ns,
+			Seed:    c.opts.Seed,
+			Chain:   c.chain,
+			Workers: workers,
+		})
+	}
+	counts := []int{1, 2, 4, 8}
+	results := make([]*cluster.Result, len(counts))
+	if err := c.forEachN(len(counts), func(i int) error {
+		r, err := mk(counts[i])
+		results[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	res := &ClusterScaleResult{Nodes: len(names), BudgetW: budget, Deterministic: true}
+	ref := results[0]
+	for _, r := range results {
+		if r.MachineSeconds != ref.MachineSeconds || r.Makespan != ref.Makespan ||
+			r.PeakTotalW != ref.PeakTotalW || r.OverFrac != ref.OverFrac {
+			res.Deterministic = false
+		}
+		res.Rows = append(res.Rows, ClusterScaleRow{
+			Workers:     r.Workers,
+			Ticks:       r.TickWall.N,
+			AvgTickUs:   float64(r.TickWall.Avg().Nanoseconds()) / 1e3,
+			MaxTickUs:   float64(r.TickWall.Max.Nanoseconds()) / 1e3,
+			MakespanSec: r.Makespan.Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// Print writes the scaling table.
+func (r *ClusterScaleResult) Print(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Parallel coordinator scaling: %d nodes under a shared %.0f W budget\n", r.Nodes, r.BudgetW); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %8s %12s %12s %13s\n", "workers", "ticks", "avg us/tick", "max us/tick", "makespan (s)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%8d %8d %12.1f %12.1f %13.2f\n", row.Workers, row.Ticks, row.AvgTickUs, row.MaxTickUs, row.MakespanSec)
+	}
+	verdict := "identical to serial (deterministic)"
+	if !r.Deterministic {
+		verdict = "DIVERGED from serial — determinism violated"
+	}
+	_, err := fmt.Fprintf(w, "all worker counts %s\n", verdict)
 	return err
 }

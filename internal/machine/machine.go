@@ -294,6 +294,17 @@ func (s *runState) advance() {
 // steps of several machines and retarget their governors between
 // intervals (e.g. reassigning per-machine power limits from a shared
 // budget). Machine.Run is the single-machine convenience wrapper.
+//
+// Concurrency: a Session is not safe for concurrent use — one
+// goroutine at a time may call Step (or any other method), though the
+// goroutine may change between calls given a happens-before edge (the
+// cluster worker pool's barrier provides one). Distinct sessions may
+// be stepped concurrently: a session's mutable state is its own
+// (per-session RNG, actuator, thermal model, trace, hooks), and the
+// machine state it shares — the p-state table, sensor chain, power
+// truth, config — is read-only after New; the shared sensor.Recorder
+// is internally locked. Governor retargeting (e.g. SetLimit) must
+// happen between steps, from the coordinating goroutine.
 type Session struct {
 	m      *Machine
 	w      phase.Workload

@@ -15,6 +15,36 @@ import (
 	"aapm/internal/trace"
 )
 
+// WallClock aggregates host wall-clock samples of a repeated
+// operation — e.g. the cluster coordinator's per-tick step/aggregate/
+// reallocate cycle, where it makes worker-pool speedups observable.
+// Purely observational: wall-clock never feeds back into virtual time
+// or policy decisions, so timed runs stay deterministic. The zero
+// value is ready to use. Not safe for concurrent use.
+type WallClock struct {
+	// N is the number of samples; Total their sum; Max the largest.
+	N     int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Add records one sample.
+func (w *WallClock) Add(d time.Duration) {
+	w.N++
+	w.Total += d
+	if d > w.Max {
+		w.Max = d
+	}
+}
+
+// Avg returns the mean sample, or 0 before any Add.
+func (w *WallClock) Avg() time.Duration {
+	if w.N == 0 {
+		return 0
+	}
+	return w.Total / time.Duration(w.N)
+}
+
 // Collector is a machine.Hook that aggregates engine counters over
 // one run. The zero value is ready to use; set LimitW to also count
 // power-limit violations. A Collector must not be shared across

@@ -156,3 +156,22 @@ func TestCollectorPrint(t *testing.T) {
 		t.Error("zero-value collector derived nonzero ratios")
 	}
 }
+
+func TestWallClock(t *testing.T) {
+	var w WallClock
+	if w.Avg() != 0 {
+		t.Error("empty aggregate has nonzero average")
+	}
+	for _, d := range []time.Duration{3 * time.Microsecond, 9 * time.Microsecond, 6 * time.Microsecond} {
+		w.Add(d)
+	}
+	if w.N != 3 || w.Total != 18*time.Microsecond {
+		t.Errorf("N=%d Total=%v, want 3 and 18us", w.N, w.Total)
+	}
+	if w.Max != 9*time.Microsecond {
+		t.Errorf("Max=%v, want 9us", w.Max)
+	}
+	if w.Avg() != 6*time.Microsecond {
+		t.Errorf("Avg=%v, want 6us", w.Avg())
+	}
+}

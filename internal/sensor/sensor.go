@@ -14,6 +14,7 @@ package sensor
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -88,32 +89,57 @@ type Marker struct {
 	Rising bool
 }
 
-// Recorder accumulates the acquisition stream of one session.
+// Recorder accumulates the acquisition stream of one machine. A
+// machine's sessions share its recorder, and parallel drivers (the
+// cluster coordinator's worker pool) may step sessions of different
+// machines — or, for sequential workloads on one board, interleave
+// sessions — from multiple goroutines, so the appends are
+// mutex-guarded. The stream stays in acquisition order per goroutine;
+// callers wanting a strict global time order across concurrently
+// stepped sessions must sort.
 type Recorder struct {
+	mu      sync.Mutex
 	samples []Sample
 	markers []Marker
 }
 
 // Record appends one power sample.
 func (r *Recorder) Record(t time.Duration, powerW float64) {
+	r.mu.Lock()
 	r.samples = append(r.samples, Sample{T: t, PowerW: powerW})
+	r.mu.Unlock()
 }
 
 // Mark appends a GPIO edge.
 func (r *Recorder) Mark(t time.Duration, label string, rising bool) {
+	r.mu.Lock()
 	r.markers = append(r.markers, Marker{T: t, Label: label, Rising: rising})
+	r.mu.Unlock()
 }
 
-// Samples returns the acquired samples in time order.
-func (r *Recorder) Samples() []Sample { return r.samples }
+// Samples returns the acquired samples in acquisition order. The
+// returned slice is shared with the recorder; do not append to it
+// while sessions are still being stepped.
+func (r *Recorder) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.samples
+}
 
-// Markers returns the GPIO edges in time order.
-func (r *Recorder) Markers() []Marker { return r.markers }
+// Markers returns the GPIO edges in acquisition order, under the same
+// sharing caveat as Samples.
+func (r *Recorder) Markers() []Marker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.markers
+}
 
 // Between returns the samples acquired between the rising and falling
 // edges of the marker with the given label, mirroring how the paper
 // crops acquisition data to one benchmark run.
 func (r *Recorder) Between(label string) ([]Sample, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var start, end time.Duration
 	var haveStart, haveEnd bool
 	for _, m := range r.markers {
