@@ -26,9 +26,17 @@ fuzz-short:
 	go test ./internal/phase -fuzz FuzzParseWorkloadJSON -fuzztime $(FUZZTIME)
 
 # Refresh the golden trace fixtures after an intentional trace change.
+# Also covers the Prometheus exposition fixture in internal/telemetry.
 .PHONY: golden-update
 golden-update:
 	go test -run TestGolden -update .
+	go test -run TestPrometheusGolden -update ./internal/telemetry
+
+# One-iteration telemetry overhead smoke: the hook-bus/observer cost
+# benchmarks compile and run.
+.PHONY: telemetry-smoke
+telemetry-smoke:
+	go test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkStagedTick' -benchtime 1x .
 
 .PHONY: all
 all: vet test race

@@ -23,6 +23,8 @@
 package aapm
 
 import (
+	"io"
+
 	"aapm/internal/cluster"
 	"aapm/internal/control"
 	"aapm/internal/faults"
@@ -34,6 +36,7 @@ import (
 	"aapm/internal/pstate"
 	"aapm/internal/sensor"
 	"aapm/internal/spec"
+	"aapm/internal/telemetry"
 	"aapm/internal/thermal"
 	"aapm/internal/trace"
 )
@@ -239,6 +242,32 @@ type Degradation = trace.Degradation
 // FaultPreset returns a balanced fault plan exercising every fault
 // class at the given base per-interval rate (e.g. 0.05).
 func FaultPreset(rate float64) FaultPlan { return faults.Preset(rate) }
+
+// TelemetryRegistry is a concurrency-safe registry of counters, gauges
+// and histograms exportable as Prometheus text (WritePrometheus) or a
+// structured Snapshot; see internal/telemetry.
+type TelemetryRegistry = telemetry.Registry
+
+// NewTelemetryRegistry builds an empty telemetry registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewTelemetryObserver returns a Hook that feeds a run's intervals,
+// transitions and degradations into the registry under the given node
+// and governor labels. One observer observes one session at a time.
+func NewTelemetryObserver(reg *TelemetryRegistry, node, governor string) Hook {
+	return telemetry.NewObserver(reg, node, governor)
+}
+
+// TraceEventWriter streams Chrome trace-event JSON (Perfetto,
+// chrome://tracing) as runs execute; subscribe its RunHook to a
+// session, or pass one per run via ClusterConfig.Observe.
+type TraceEventWriter = telemetry.TraceEventWriter
+
+// NewTraceEventWriter builds a trace-event writer over w. Call Close
+// to finish the JSON array (the underlying writer is not closed).
+func NewTraceEventWriter(w io.Writer) *TraceEventWriter {
+	return telemetry.NewTraceEventWriter(w)
+}
 
 // WorkloadFromTrace inverts a recorded run into a replayable workload —
 // the record-and-replay workflow for evaluating policies offline from

@@ -26,6 +26,7 @@ import (
 	"aapm/internal/model"
 	"aapm/internal/sensor"
 	"aapm/internal/spec"
+	"aapm/internal/telemetry"
 	"aapm/internal/trace"
 )
 
@@ -433,6 +434,72 @@ func BenchmarkStagedTick(b *testing.B) {
 		}
 		s.Result()
 		ticks += col.Ticks
+	}
+}
+
+// BenchmarkTelemetryOff measures the per-interval cost with the
+// telemetry layer compiled in but no subscriber attached — the
+// partner of BenchmarkStagedTick for the ≤5% self-observation budget
+// (asserted by TestTelemetryOffOverhead).
+func BenchmarkTelemetryOff(b *testing.B) {
+	w, err := spec.ByName("ammp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := machine.New(machine.Config{Chain: sensor.NIDefault(), Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	ticks := 0
+	for ticks < b.N {
+		s, err := m.NewSession(w, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			done, err := s.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if done {
+				break
+			}
+		}
+		ticks += len(s.Result().Rows)
+	}
+}
+
+// BenchmarkTelemetryOn measures the per-interval cost with a registry
+// observer subscribed — what a scraped run actually pays.
+func BenchmarkTelemetryOn(b *testing.B) {
+	w, err := spec.ByName("ammp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := machine.New(machine.Config{Chain: sensor.NIDefault(), Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	b.ResetTimer()
+	ticks := 0
+	for ticks < b.N {
+		s, err := m.NewSession(w, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Subscribe(telemetry.NewObserver(reg, "bench", "none"))
+		for {
+			done, err := s.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if done {
+				break
+			}
+		}
+		ticks += len(s.Result().Rows)
 	}
 }
 

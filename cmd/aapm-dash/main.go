@@ -1,10 +1,12 @@
 // Command aapm-dash serves the interactive dashboard: run any suite
 // workload under any governor spec and watch the power, frequency and
-// temperature timelines in the browser.
+// temperature timelines in the browser. Every run also feeds the
+// telemetry registry, scrapeable at /metrics (Prometheus text) and
+// /api/telemetry (JSON).
 //
 // Usage:
 //
-//	aapm-dash [-addr :8080]
+//	aapm-dash [-addr :8080] [-pprof]
 package main
 
 import (
@@ -18,10 +20,16 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	fmt.Printf("aapm dashboard listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, dash.Handler()); err != nil {
+	fmt.Printf("  metrics:   http://localhost%s/metrics\n", *addr)
+	if *pprofOn {
+		fmt.Printf("  profiling: http://localhost%s/debug/pprof/\n", *addr)
+	}
+	h := dash.NewHandler(dash.Options{PProf: *pprofOn})
+	if err := http.ListenAndServe(*addr, h); err != nil {
 		fmt.Fprintln(os.Stderr, "aapm-dash:", err)
 		os.Exit(1)
 	}

@@ -17,7 +17,9 @@ import (
 	"strings"
 
 	"aapm/internal/experiment"
+	"aapm/internal/machine"
 	"aapm/internal/report"
+	"aapm/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +29,7 @@ func main() {
 	par := flag.Int("par", 0, "bound on concurrent runs and cluster stepping workers (0 = GOMAXPROCS)")
 	exps := flag.String("exp", "", "comma-separated experiment subset (default: all)")
 	markdown := flag.Bool("markdown", false, "emit a single markdown report instead of per-experiment text")
+	traceOut := flag.String("trace-out", "", "write every run's intervals as one Chrome trace-event JSON file (load in Perfetto)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
 
@@ -37,7 +40,30 @@ func main() {
 		return
 	}
 
-	ctx, err := experiment.NewContext(experiment.Options{Seed: *seed, ScaleDown: *scale, Repeats: *repeats, Parallelism: *par})
+	opts := experiment.Options{Seed: *seed, ScaleDown: *scale, Repeats: *repeats, Parallelism: *par}
+	var tw *telemetry.TraceEventWriter
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		tw = telemetry.NewTraceEventWriter(tf)
+		defer func() {
+			if err := tw.Close(); err != nil {
+				fatal(err)
+			}
+			if err := tf.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "trace events written to %s (%d events)\n", *traceOut, tw.Events())
+		}()
+		// Every run becomes its own process track in the trace; the
+		// writer is concurrency-safe, so parallel runs interleave fine.
+		opts.Observer = func(workload, policy string) machine.Hook {
+			return tw.RunHook(workload, policy)
+		}
+	}
+	ctx, err := experiment.NewContext(opts)
 	if err != nil {
 		fatal(err)
 	}

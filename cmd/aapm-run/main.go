@@ -8,6 +8,7 @@
 //	aapm-run -workload swim -policy ps -floor 0.8
 //	aapm-run -workload crafty -policy static -freq 1800 -csv trace.csv
 //	aapm-run -workload galgel -policy pm -limit 13.5 -metrics
+//	aapm-run -workload mcf -policy pm -trace-out trace.json
 //	aapm-run -workload-file my.json -policy ondemand
 //	aapm-run -list
 package main
@@ -24,6 +25,7 @@ import (
 	"aapm/internal/phase"
 	"aapm/internal/sensor"
 	"aapm/internal/spec"
+	"aapm/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func main() {
 	freq := flag.Int("freq", 2000, "static policy frequency in MHz")
 	seed := flag.Int64("seed", 7, "simulation seed")
 	csvPath := flag.String("csv", "", "write the full 10 ms trace to this CSV file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing)")
 	showMetrics := flag.Bool("metrics", false, "print staged-engine counters (ticks, transitions, stall, per-stage wall-clock)")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	flag.Parse()
@@ -78,7 +81,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runAndReport(m, w, gov, *csvPath, *showMetrics, 0)
+		runAndReport(m, w, gov, *csvPath, *traceOut, *showMetrics, 0)
 		return
 	}
 	switch *policy {
@@ -119,10 +122,10 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
-	runAndReport(m, w, gov, *csvPath, *showMetrics, limitW)
+	runAndReport(m, w, gov, *csvPath, *traceOut, *showMetrics, limitW)
 }
 
-func runAndReport(m *machine.Machine, w phase.Workload, gov machine.Governor, csvPath string, showMetrics bool, limitW float64) {
+func runAndReport(m *machine.Machine, w phase.Workload, gov machine.Governor, csvPath, traceOut string, showMetrics bool, limitW float64) {
 	col := &metrics.Collector{LimitW: limitW}
 	s, err := m.NewSession(w, gov)
 	if err != nil {
@@ -130,6 +133,18 @@ func runAndReport(m *machine.Machine, w phase.Workload, gov machine.Governor, cs
 	}
 	if showMetrics {
 		s.Subscribe(col)
+		s.EnableStageTiming()
+	}
+	var tw *telemetry.TraceEventWriter
+	var tf *os.File
+	if traceOut != "" {
+		tf, err = os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		tw = telemetry.NewTraceEventWriter(tf)
+		s.Subscribe(tw.RunHook(w.Name, gov.Name()))
+		// Stage spans need wall-clock stage timing on the bus.
 		s.EnableStageTiming()
 	}
 	for {
@@ -162,6 +177,15 @@ func runAndReport(m *machine.Machine, w phase.Workload, gov machine.Governor, cs
 			fatal(err)
 		}
 		fmt.Printf("trace written to %s (%d rows)\n", csvPath, len(run.Rows))
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fatal(err)
+		}
+		if err := tf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace events written to %s (%d events)\n", traceOut, tw.Events())
 	}
 }
 

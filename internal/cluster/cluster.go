@@ -32,6 +32,7 @@ import (
 	"aapm/internal/phase"
 	"aapm/internal/pstate"
 	"aapm/internal/sensor"
+	"aapm/internal/telemetry"
 	"aapm/internal/trace"
 )
 
@@ -67,6 +68,18 @@ type Config struct {
 	// in the coordinator goroutine (the serial reference). The traces
 	// are identical for every value.
 	Workers int
+	// Telemetry, when non-nil, receives the coordinator's live
+	// metrics: one aapm_* series set per node (via telemetry.Observer
+	// on each session's Hook bus), per-worker shard wall-clock
+	// histograms, reallocation-epoch and budget-violation counters,
+	// and per-node limit gauges. Purely observational — the registry
+	// never feeds back into stepping or reallocation, so traces stay
+	// byte-identical with telemetry enabled.
+	Telemetry *telemetry.Registry
+	// Observe, when non-nil, returns an extra Hook subscribed to node
+	// i's session before the run (nil return skips that node) — e.g.
+	// a telemetry.TraceEventWriter run hook per node.
+	Observe func(i int, name string) machine.Hook
 }
 
 // Result is the co-simulation outcome.
@@ -98,12 +111,17 @@ type Result struct {
 	// ContendedIntervals counts them.
 	ContendedOverFrac  float64
 	ContendedIntervals int
-	// Workers is the stepping-goroutine count the run used; TickWall
-	// aggregates the coordinator's per-tick wall-clock (stepping,
-	// barrier, aggregation and reallocation), so worker-pool speedups
-	// are observable without instrumenting the caller.
-	Workers  int
-	TickWall metrics.WallClock
+	// Workers is the stepping-goroutine count the run used. TickWall
+	// is the per-worker shard-stepping wall-clock, merged across all
+	// workers (metrics.WallClock.Merge) so the distribution tails —
+	// the fastest and slowest shard-ticks — survive aggregation;
+	// WorkerWall keeps the unmerged per-worker aggregates. CoordWall
+	// times the coordinator's post-barrier work per tick (aggregation
+	// and reallocation). All purely observational wall-clock.
+	Workers    int
+	TickWall   metrics.WallClock
+	WorkerWall []metrics.WallClock
+	CoordWall  metrics.WallClock
 }
 
 // Run executes the co-simulation.
@@ -167,6 +185,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 		taps[i] = &nodeTap{}
 		s.Subscribe(taps[i])
+		if cfg.Telemetry != nil {
+			s.Subscribe(telemetry.NewObserver(cfg.Telemetry, name, "pm"))
+		}
+		if cfg.Observe != nil {
+			if h := cfg.Observe(i, name); h != nil {
+				s.Subscribe(h)
+			}
+		}
 		sessions[i] = s
 		pms[i] = pm
 	}
@@ -176,6 +202,12 @@ func Run(cfg Config) (*Result, error) {
 		sessions: sessions,
 		stepped:  make([]bool, n),
 		errs:     make([]error, n),
+		wall:     make([]metrics.WallClock, workers),
+	}
+	var ct *clusterTelemetry
+	if cfg.Telemetry != nil {
+		ct = newClusterTelemetry(cfg.Telemetry, cfg.BudgetW, n, workers, names)
+		st.shardWall = ct.shardWall
 	}
 	var pool *workerPool
 	if workers > 1 {
@@ -201,7 +233,6 @@ func Run(cfg Config) (*Result, error) {
 	var intervals, overIntervals, contended, overContended int
 
 	for tick := 0; ; tick++ {
-		t0 := time.Now()
 		for i := range st.stepped {
 			st.stepped[i] = false
 		}
@@ -210,6 +241,7 @@ func Run(cfg Config) (*Result, error) {
 		} else {
 			st.shard(0)
 		}
+		t0 := time.Now()
 		// Post-barrier: every cross-node read below happens in
 		// node-index order on the coordinator goroutine, so the
 		// aggregate state is identical for every worker count. The
@@ -247,7 +279,7 @@ func Run(cfg Config) (*Result, error) {
 			recentN[i]++
 		}
 		if !anyActive {
-			res.TickWall.Add(time.Since(t0))
+			res.CoordWall.Add(time.Since(t0))
 			break
 		}
 		intervals++
@@ -263,6 +295,9 @@ func Run(cfg Config) (*Result, error) {
 			if over {
 				overContended++
 			}
+		}
+		if ct != nil {
+			ct.tick(totalW, over, allActive)
 		}
 
 		if !cfg.Static && tick > 0 && tick%epoch == 0 {
@@ -296,8 +331,19 @@ func Run(cfg Config) (*Result, error) {
 			for i := range recentW {
 				recentW[i], recentDPC[i], recentN[i], epochFresh[i] = 0, 0, 0, false
 			}
+			if ct != nil {
+				ct.epoch(limits)
+			}
 		}
-		res.TickWall.Add(time.Since(t0))
+		res.CoordWall.Add(time.Since(t0))
+	}
+
+	// Fold every worker's shard timing into one aggregate; Merge
+	// keeps the Min/Max tails, so a straggler worker stays visible in
+	// the merged distribution.
+	res.WorkerWall = st.wall
+	for k := range st.wall {
+		res.TickWall.Merge(st.wall[k])
 	}
 
 	for _, s := range sessions {
@@ -457,3 +503,62 @@ func waterfill(budget, floor float64, desires []float64) []float64 {
 
 // debugHook, when set by tests, receives each reallocation decision.
 var debugHook func(node int, desire, limit float64)
+
+// shardWallBuckets are the per-worker shard-step histogram bounds in
+// seconds: a shard-tick is typically single-digit microseconds, with
+// a long tail under contention.
+var shardWallBuckets = []float64{1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1e-2}
+
+// clusterTelemetry owns the coordinator-level series: cluster-wide
+// gauges and counters updated post-barrier on the coordinator
+// goroutine, plus the per-worker shard histograms written by the
+// stepping workers (the registry serializes those internally).
+type clusterTelemetry struct {
+	totalW     *telemetry.Series
+	overBudget *telemetry.Series
+	intervals  *telemetry.Series
+	contended  *telemetry.Series
+	epochs     *telemetry.Series
+	limitBy    []*telemetry.Series
+	shardWall  []*telemetry.Series
+}
+
+func newClusterTelemetry(reg *telemetry.Registry, budget float64, n, workers int, names []string) *clusterTelemetry {
+	ct := &clusterTelemetry{}
+	reg.Gauge("aapm_cluster_nodes", "Nodes in the shared-budget co-simulation.").With().Set(float64(n))
+	reg.Gauge("aapm_cluster_budget_watts", "Global power cap the per-node limits sum to.").With().Set(budget)
+	ct.totalW = reg.Gauge("aapm_cluster_total_power_watts", "Sum of measured node powers over the last lockstep interval.").With()
+	ct.intervals = reg.Counter("aapm_cluster_intervals_total", "Lockstep intervals stepped.").With()
+	ct.overBudget = reg.Counter("aapm_cluster_over_budget_intervals_total", "Lockstep intervals whose total measured power exceeded the budget.").With()
+	ct.contended = reg.Counter("aapm_cluster_contended_intervals_total", "Lockstep intervals where every node was still active.").With()
+	ct.epochs = reg.Counter("aapm_cluster_reallocation_epochs_total", "Budget reallocation epochs completed.").With()
+	limits := reg.Gauge("aapm_cluster_node_limit_watts", "Current per-node PM power limit.", "node")
+	for _, name := range names {
+		ct.limitBy = append(ct.limitBy, limits.With(name))
+	}
+	shard := reg.Histogram("aapm_cluster_shard_wall_seconds", "Per-worker wall-clock to step one shard for one tick.", shardWallBuckets, "worker")
+	for k := 0; k < workers; k++ {
+		ct.shardWall = append(ct.shardWall, shard.With(fmt.Sprint(k)))
+	}
+	return ct
+}
+
+// tick publishes one lockstep interval's aggregates.
+func (ct *clusterTelemetry) tick(totalW float64, over, allActive bool) {
+	ct.totalW.Set(totalW)
+	ct.intervals.Inc()
+	if over {
+		ct.overBudget.Inc()
+	}
+	if allActive {
+		ct.contended.Inc()
+	}
+}
+
+// epoch publishes one reallocation's outcome.
+func (ct *clusterTelemetry) epoch(limits []float64) {
+	ct.epochs.Inc()
+	for i, l := range limits {
+		ct.limitBy[i].Set(l)
+	}
+}

@@ -3,8 +3,11 @@ package cluster
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"aapm/internal/machine"
+	"aapm/internal/metrics"
+	"aapm/internal/telemetry"
 )
 
 // stepper owns the per-tick stepping work. Sessions are statically
@@ -21,18 +24,37 @@ type stepper struct {
 	// Entry i is written only by the worker owning shard i%workers.
 	stepped []bool
 	errs    []error
+	// wall[k] aggregates worker k's per-tick shard wall-clock (ticks
+	// where the shard had at least one active node). Each entry is
+	// written only by its owning worker; the coordinator merges them
+	// into Result.TickWall after the run.
+	wall []metrics.WallClock
+	// shardWall[k], when telemetry is enabled, receives the same
+	// samples as a labeled histogram series.
+	shardWall []*telemetry.Series
 }
 
-// shard steps worker k's nodes for one tick.
+// shard steps worker k's nodes for one tick, timing the shard when it
+// did any work.
 func (st *stepper) shard(k int) {
+	start := time.Now()
+	any := false
 	for i := k; i < len(st.sessions); i += st.workers {
 		s := st.sessions[i]
 		if s.Done() || st.errs[i] != nil {
 			continue
 		}
+		any = true
 		st.stepped[i] = true
 		if _, err := s.Step(); err != nil {
 			st.errs[i] = err
+		}
+	}
+	if any {
+		d := time.Since(start)
+		st.wall[k].Add(d)
+		if st.shardWall != nil {
+			st.shardWall[k].Observe(d.Seconds())
 		}
 	}
 }

@@ -7,9 +7,10 @@ package dash
 
 import (
 	"encoding/json"
-	"fmt"
 	"html/template"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"aapm/internal/control"
@@ -17,17 +18,65 @@ import (
 	"aapm/internal/metrics"
 	"aapm/internal/sensor"
 	"aapm/internal/spec"
+	"aapm/internal/telemetry"
 	"aapm/internal/thermal"
 	"aapm/internal/trace"
 )
 
-// Handler returns the dashboard's HTTP handler.
-func Handler() http.Handler {
+// Options configures the dashboard handler.
+type Options struct {
+	// Telemetry backs /metrics and /api/telemetry; nil allocates a
+	// registry private to this handler. Every /api/run feeds it, so
+	// scrapes see counters accumulated across requests.
+	Telemetry *telemetry.Registry
+	// PProf additionally mounts the net/http/pprof handlers under
+	// /debug/pprof/ for live profiling of the simulator.
+	PProf bool
+}
+
+// server holds the per-handler state behind the mux.
+type server struct {
+	reg *telemetry.Registry
+}
+
+// Handler returns the dashboard's HTTP handler with default options.
+func Handler() http.Handler { return NewHandler(Options{}) }
+
+// NewHandler returns the dashboard's HTTP handler.
+func NewHandler(opts Options) http.Handler {
+	srv := &server{reg: opts.Telemetry}
+	if srv.reg == nil {
+		srv.reg = telemetry.NewRegistry()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", index)
 	mux.HandleFunc("/api/workloads", apiWorkloads)
-	mux.HandleFunc("/api/run", apiRun)
+	mux.HandleFunc("/api/run", srv.apiRun)
+	mux.HandleFunc("/api/telemetry", srv.apiTelemetry)
+	mux.HandleFunc("/metrics", srv.metrics)
+	if opts.PProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// metrics serves the registry in Prometheus text exposition format,
+// refreshing the Go runtime gauges on every scrape.
+func (srv *server) metrics(w http.ResponseWriter, r *http.Request) {
+	telemetry.SampleRuntime(srv.reg)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = srv.reg.WritePrometheus(w)
+}
+
+// apiTelemetry serves the registry as structured JSON — the same data
+// as /metrics, for clients that would rather not parse exposition
+// text.
+func (srv *server) apiTelemetry(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, srv.reg.Snapshot())
 }
 
 // runRow is the JSON shape of one trace interval.
@@ -77,7 +126,12 @@ func apiWorkloads(w http.ResponseWriter, r *http.Request) {
 // simulator covers a minute of virtual time in well under a second).
 const maxRunSeconds = 300
 
-func apiRun(w http.ResponseWriter, r *http.Request) {
+func (srv *server) apiRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
 	q := r.URL.Query()
 	name := q.Get("workload")
 	if name == "" {
@@ -95,7 +149,10 @@ func apiRun(w http.ResponseWriter, r *http.Request) {
 	}
 	var seed int64 = 7
 	if s := q.Get("seed"); s != "" {
-		if _, err := fmt.Sscanf(s, "%d", &seed); err != nil {
+		// ParseInt rejects trailing garbage ("7abc") that Sscanf's %d
+		// would silently accept.
+		seed, err = strconv.ParseInt(s, 10, 64)
+		if err != nil {
 			httpError(w, http.StatusBadRequest, "bad seed")
 			return
 		}
@@ -123,6 +180,7 @@ func apiRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.Subscribe(col)
+	s.Subscribe(telemetry.NewObserver(srv.reg, name, gov.Name()))
 	s.EnableStageTiming()
 	for {
 		done, err := s.Step()

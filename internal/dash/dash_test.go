@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"aapm/internal/machine"
+	"aapm/internal/telemetry"
 )
 
 func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
@@ -97,6 +98,8 @@ func TestAPIRunErrors(t *testing.T) {
 		"/api/run?workload=nope":                http.StatusNotFound,
 		"/api/run?workload=gzip&gov=bogus":      http.StatusBadRequest,
 		"/api/run?workload=gzip&seed=notanint":  http.StatusBadRequest,
+		"/api/run?workload=gzip&seed=7abc":      http.StatusBadRequest, // trailing garbage Sscanf used to accept
+		"/api/run?workload=gzip&seed=0x10":      http.StatusBadRequest,
 		"/api/run?workload=gzip&gov=pm:limit=x": http.StatusBadRequest,
 	}
 	for path, want := range cases {
@@ -108,5 +111,109 @@ func TestAPIRunErrors(t *testing.T) {
 		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e["error"] == "" {
 			t.Errorf("%s: error payload %q", path, rec.Body.String())
 		}
+	}
+}
+
+func TestAPIRunMethodNotAllowed(t *testing.T) {
+	h := Handler()
+	for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+		req := httptest.NewRequest(method, "/api/run?workload=gzip", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s /api/run -> %d, want 405", method, rec.Code)
+		}
+		if allow := rec.Header().Get("Allow"); allow != http.MethodGet {
+			t.Errorf("%s /api/run Allow = %q, want GET", method, allow)
+		}
+	}
+}
+
+// TestMetricsEndpoint drives a run and checks /metrics serves valid
+// Prometheus text with the acceptance floor of 10 metric families.
+func TestMetricsEndpoint(t *testing.T) {
+	h := Handler()
+	if rec := get(t, h, "/api/run?workload=gzip&gov=pm:limit=14.5"); rec.Code != http.StatusOK {
+		t.Fatalf("run status = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	if n := strings.Count(body, "# TYPE "); n < 10 {
+		t.Errorf("exposition has %d families, want >= 10:\n%s", n, body)
+	}
+	for _, want := range []string{
+		"# TYPE " + telemetry.MetricTicks + " counter",
+		"# TYPE " + telemetry.MetricIntervalW + " histogram",
+		"# TYPE go_goroutines gauge",
+		telemetry.MetricTicks + `{node="gzip",governor=`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Counters accumulate across requests on the same handler.
+	tickLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, telemetry.MetricTicks+"{") {
+				return line
+			}
+		}
+		return ""
+	}
+	first := tickLine(body)
+	if rec := get(t, h, "/api/run?workload=gzip&gov=pm:limit=14.5"); rec.Code != http.StatusOK {
+		t.Fatalf("second run status = %d", rec.Code)
+	}
+	second := tickLine(get(t, h, "/metrics").Body.String())
+	if first == "" || first == second {
+		t.Errorf("tick counter did not accumulate: %q then %q", first, second)
+	}
+}
+
+func TestAPITelemetry(t *testing.T) {
+	h := Handler()
+	if rec := get(t, h, "/api/run?workload=gzip&gov=ps:floor=0.8"); rec.Code != http.StatusOK {
+		t.Fatalf("run status = %d", rec.Code)
+	}
+	rec := get(t, h, "/api/telemetry")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	var sawTicks bool
+	for _, f := range snap.Families {
+		if f.Name == telemetry.MetricTicks {
+			sawTicks = true
+			if len(f.Series) == 0 || f.Series[0].Value <= 0 {
+				t.Errorf("tick series = %+v", f.Series)
+			}
+		}
+	}
+	if !sawTicks {
+		t.Error("snapshot missing the ticks family")
+	}
+}
+
+func TestPProfMounting(t *testing.T) {
+	// Off by default.
+	if rec := get(t, Handler(), "/debug/pprof/"); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof off: status = %d, want 404", rec.Code)
+	}
+	h := NewHandler(Options{PProf: true})
+	rec := get(t, h, "/debug/pprof/")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index: status = %d", rec.Code)
+	}
+	if rec := get(t, h, "/debug/pprof/cmdline"); rec.Code != http.StatusOK {
+		t.Errorf("pprof cmdline: status = %d", rec.Code)
 	}
 }

@@ -43,6 +43,13 @@ type Options struct {
 	// "execute three times and report the median run" methodology.
 	// 0/1 = single run.
 	Repeats int
+	// Observer, when non-nil, is invoked once per executed run with the
+	// workload and policy names; a non-nil hook it returns is
+	// subscribed to that run's session. Hooks on the bus are purely
+	// observational, so traces (and therefore cached results) are
+	// unchanged. Runs may execute concurrently — the factory and its
+	// hooks must tolerate that.
+	Observer func(workload, policy string) machine.Hook
 }
 
 // Context owns the shared platform configuration and a cache of
@@ -146,7 +153,17 @@ func (c *Context) run(key, workload string, f govFactory) (*trace.Run, error) {
 				return nil, err
 			}
 		}
-		r, err := m.Run(w, g)
+		var hooks []machine.Hook
+		if c.opts.Observer != nil {
+			policy := "none"
+			if g != nil {
+				policy = g.Name()
+			}
+			if h := c.opts.Observer(w.Name, policy); h != nil {
+				hooks = append(hooks, h)
+			}
+		}
+		r, err := m.RunWith(w, g, hooks...)
 		if err != nil {
 			return nil, err
 		}

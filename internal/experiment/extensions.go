@@ -435,8 +435,8 @@ type SharedBudgetResult struct {
 	// fractions for the two modes.
 	OverFracDyn, OverFracStatic float64
 	// Workers is the stepping-goroutine count each coordinator used;
-	// TickWallUs is the demand-aware coordinator's mean per-tick
-	// wall-clock in microseconds.
+	// TickWallUs is the demand-aware run's mean per-worker shard-step
+	// wall-clock in microseconds (merged across workers).
 	Workers    int
 	TickWallUs float64
 }
@@ -511,7 +511,7 @@ func (r *SharedBudgetResult) Print(w io.Writer) error {
 		(r.Speedup-1)*100, r.OverFracDyn*100, r.OverFracStatic*100); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "coordinator: %d stepping worker(s), %.1f us mean wall-clock per tick\n",
+	_, err := fmt.Fprintf(w, "coordinator: %d stepping worker(s), %.1f us mean wall-clock per shard-step\n",
 		r.Workers, r.TickWallUs)
 	return err
 }
@@ -529,12 +529,14 @@ type ClusterScaleResult struct {
 	Deterministic bool
 }
 
-// ClusterScaleRow is one worker count's coordinator cost.
+// ClusterScaleRow is one worker count's stepping cost: the merged
+// per-worker shard wall-clock (Result.TickWall), tails included.
 type ClusterScaleRow struct {
 	Workers     int
-	Ticks       int
-	AvgTickUs   float64
-	MaxTickUs   float64
+	Steps       int
+	AvgStepUs   float64
+	MinStepUs   float64
+	MaxStepUs   float64
 	MakespanSec float64
 }
 
@@ -581,9 +583,10 @@ func (c *Context) ClusterScale() (*ClusterScaleResult, error) {
 		}
 		res.Rows = append(res.Rows, ClusterScaleRow{
 			Workers:     r.Workers,
-			Ticks:       r.TickWall.N,
-			AvgTickUs:   float64(r.TickWall.Avg().Nanoseconds()) / 1e3,
-			MaxTickUs:   float64(r.TickWall.Max.Nanoseconds()) / 1e3,
+			Steps:       r.TickWall.N,
+			AvgStepUs:   float64(r.TickWall.Avg().Nanoseconds()) / 1e3,
+			MinStepUs:   float64(r.TickWall.Min.Nanoseconds()) / 1e3,
+			MaxStepUs:   float64(r.TickWall.Max.Nanoseconds()) / 1e3,
 			MakespanSec: r.Makespan.Seconds(),
 		})
 	}
@@ -595,9 +598,9 @@ func (r *ClusterScaleResult) Print(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "Parallel coordinator scaling: %d nodes under a shared %.0f W budget\n", r.Nodes, r.BudgetW); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%8s %8s %12s %12s %13s\n", "workers", "ticks", "avg us/tick", "max us/tick", "makespan (s)")
+	fmt.Fprintf(w, "%8s %8s %12s %12s %12s %13s\n", "workers", "steps", "avg us/step", "min us/step", "max us/step", "makespan (s)")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%8d %8d %12.1f %12.1f %13.2f\n", row.Workers, row.Ticks, row.AvgTickUs, row.MaxTickUs, row.MakespanSec)
+		fmt.Fprintf(w, "%8d %8d %12.1f %12.1f %12.1f %13.2f\n", row.Workers, row.Steps, row.AvgStepUs, row.MinStepUs, row.MaxStepUs, row.MakespanSec)
 	}
 	verdict := "identical to serial (deterministic)"
 	if !r.Deterministic {

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"aapm/internal/machine"
+	"aapm/internal/trace"
+)
+
+// Metric family names the observer feeds. Exported so consumers
+// (dash, tests) can reference them without string drift.
+const (
+	MetricTicks        = "aapm_ticks_total"
+	MetricVirtualSec   = "aapm_virtual_seconds_total"
+	MetricInstructions = "aapm_instructions_total"
+	MetricEnergy       = "aapm_energy_joules_total"
+	MetricStallSec     = "aapm_stall_seconds_total"
+	MetricBusySec      = "aapm_busy_seconds_total"
+	MetricTransitions  = "aapm_transitions_total"
+	MetricDegradations = "aapm_degradations_total"
+	MetricPower        = "aapm_power_watts"
+	MetricMeasuredW    = "aapm_measured_power_watts"
+	MetricFreq         = "aapm_frequency_mhz"
+	MetricTemp         = "aapm_temperature_celsius"
+	MetricIntervalW    = "aapm_interval_power_watts"
+	MetricStageSec     = "aapm_stage_seconds_total"
+	MetricRunsDone     = "aapm_runs_completed_total"
+)
+
+// PowerBuckets are the interval-power histogram bounds (watts),
+// spanning the Pentium M 755's operating range with headroom.
+var PowerBuckets = []float64{4, 6, 8, 10, 12, 14, 16, 18, 20, 25}
+
+// Observer is a machine.Hook that feeds a Registry with one labeled
+// series set per (node, governor) pair: per-tick engine counters,
+// power/frequency/temperature gauges, an interval-power histogram and
+// per-stage wall-clock totals (populated only when the session has
+// stage timing enabled). Subscribe one Observer per session; the
+// series handles are resolved once here, keeping the per-tick cost to
+// a handful of mutex-guarded adds.
+type Observer struct {
+	ticks, virtSec, instr, energy, stall, busy *Series
+	transOK, transFail                         *Series
+	power, measured, freq, temp                *Series
+	intervalW                                  *Series
+	runsDone                                   *Series
+	stageSec                                   [machine.NumStages]*Series
+
+	degrFamily *Family
+	degrBySrc  map[string]*Series
+	node, gov  string
+}
+
+// NewObserver registers the aapm_* families on reg (idempotent) and
+// returns an Observer labeling every series with the given node and
+// governor names.
+func NewObserver(reg *Registry, node, governor string) *Observer {
+	lk := []string{"node", "governor"}
+	o := &Observer{node: node, gov: governor, degrBySrc: make(map[string]*Series)}
+	o.ticks = reg.Counter(MetricTicks, "Recorded monitoring intervals.", lk...).With(node, governor)
+	o.virtSec = reg.Counter(MetricVirtualSec, "Simulated (virtual) seconds elapsed.", lk...).With(node, governor)
+	o.instr = reg.Counter(MetricInstructions, "Instructions retired.", lk...).With(node, governor)
+	o.energy = reg.Counter(MetricEnergy, "True energy consumed (joules).", lk...).With(node, governor)
+	o.stall = reg.Counter(MetricStallSec, "Halted time: transition latency plus modulated-clock stop fraction.", lk...).With(node, governor)
+	o.busy = reg.Counter(MetricBusySec, "Compute time.", lk...).With(node, governor)
+	trans := reg.Counter(MetricTransitions, "P-state transition attempts by outcome.", "node", "governor", "result")
+	o.transOK = trans.With(node, governor, "ok")
+	o.transFail = trans.With(node, governor, "failed")
+	o.degrFamily = reg.Counter(MetricDegradations, "Degradation events by source (injected faults and governor graceful degradation).", "node", "governor", "source")
+	o.power = reg.Gauge(MetricPower, "True interval-average power of the last interval (watts).", lk...).With(node, governor)
+	o.measured = reg.Gauge(MetricMeasuredW, "Sensed interval-average power of the last interval (watts).", lk...).With(node, governor)
+	o.freq = reg.Gauge(MetricFreq, "P-state frequency the last interval ran at (MHz).", lk...).With(node, governor)
+	o.temp = reg.Gauge(MetricTemp, "Die temperature at last interval end (Celsius); 0 without a thermal model.", lk...).With(node, governor)
+	o.intervalW = reg.Histogram(MetricIntervalW, "Distribution of true interval-average power (watts).", PowerBuckets, lk...).With(node, governor)
+	stage := reg.Counter(MetricStageSec, "Host wall-clock spent per engine stage (seconds); zero unless stage timing is enabled.", "node", "governor", "stage")
+	for i, name := range machine.StageNames {
+		o.stageSec[i] = stage.With(node, governor, name)
+	}
+	o.runsDone = reg.Counter(MetricRunsDone, "Finalized runs.", lk...).With(node, governor)
+	return o
+}
+
+// OnTick implements machine.Hook.
+func (o *Observer) OnTick(ts machine.TickState) {
+	o.ticks.Inc()
+	o.virtSec.Add(ts.Used.Seconds())
+	o.instr.Add(ts.Instructions)
+	o.energy.Add(ts.TruePowerW * ts.Used.Seconds())
+	o.stall.Add(ts.Stall.Seconds())
+	o.busy.Add(ts.Busy.Seconds())
+	o.power.Set(ts.TruePowerW)
+	o.measured.Set(ts.MeasuredPowerW) // NaN (dropped acquisition) keeps the last good value
+	o.freq.Set(float64(ts.PState.FreqMHz))
+	o.temp.Set(ts.TempC)
+	o.intervalW.Observe(ts.TruePowerW)
+	for i, n := range ts.StageNanos {
+		if n > 0 {
+			o.stageSec[i].Add(float64(n) / 1e9)
+		}
+	}
+}
+
+// OnTransition implements machine.Hook.
+func (o *Observer) OnTransition(tr machine.Transition) {
+	if tr.OK {
+		o.transOK.Inc()
+	} else {
+		o.transFail.Inc()
+	}
+}
+
+// OnDegradation implements machine.Hook.
+func (o *Observer) OnDegradation(d trace.Degradation) {
+	s, ok := o.degrBySrc[d.Source]
+	if !ok {
+		s = o.degrFamily.With(o.node, o.gov, d.Source)
+		o.degrBySrc[d.Source] = s
+	}
+	s.Inc()
+}
+
+// OnDone implements machine.Hook.
+func (o *Observer) OnDone(*trace.Run) { o.runsDone.Inc() }

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"aapm/internal/control"
+	"aapm/internal/faults"
+	"aapm/internal/machine"
+	"aapm/internal/metrics"
+	"aapm/internal/phase"
+	"aapm/internal/sensor"
+)
+
+func testWorkload() phase.Workload {
+	return phase.Workload{
+		Name: "obs-test",
+		Phases: []phase.Params{{
+			Name: "p", Instructions: 5e8,
+			CPICore: 0.5, L2APKI: 10, MemAPKI: 1, MLP: 2, SpecFactor: 1.2, StallFrac: 0.05,
+		}},
+	}
+}
+
+// TestObserverMatchesCollector cross-checks the registry totals against
+// the canonical metrics.Collector on the same bus.
+func TestObserverMatchesCollector(t *testing.T) {
+	m, err := machine.New(machine.Config{Seed: 1, Chain: sensor.NIDefault()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := control.NewPerformanceMaximizer(control.PMConfig{LimitW: 14.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	obs := NewObserver(reg, "n0", "pm")
+	col := &metrics.Collector{}
+	run, err := m.RunWith(testWorkload(), pm, obs, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	get := func(fam string, labels ...string) (SeriesSnapshot, bool) {
+		for _, f := range snap.Families {
+			if f.Name != fam {
+				continue
+			}
+			for _, s := range f.Series {
+				if len(s.Labels) != len(labels) {
+					continue
+				}
+				match := true
+				for i := range labels {
+					if s.Labels[i] != labels[i] {
+						match = false
+						break
+					}
+				}
+				if match {
+					return s, true
+				}
+			}
+		}
+		return SeriesSnapshot{}, false
+	}
+
+	ticks, ok := get(MetricTicks, "n0", "pm")
+	if !ok || int(ticks.Value) != col.Ticks {
+		t.Errorf("ticks = %v (ok=%v), want %d", ticks.Value, ok, col.Ticks)
+	}
+	virt, _ := get(MetricVirtualSec, "n0", "pm")
+	if math.Abs(virt.Value-col.Duration.Seconds()) > 1e-9 {
+		t.Errorf("virtual seconds = %g, want %g", virt.Value, col.Duration.Seconds())
+	}
+	energy, _ := get(MetricEnergy, "n0", "pm")
+	if math.Abs(energy.Value-col.EnergyJ) > 1e-9*col.EnergyJ {
+		t.Errorf("energy = %g, want %g", energy.Value, col.EnergyJ)
+	}
+	transOK, _ := get(MetricTransitions, "n0", "pm", "ok")
+	if int(transOK.Value) != col.Transitions {
+		t.Errorf("ok transitions = %v, want %d", transOK.Value, col.Transitions)
+	}
+	transFail, ok := get(MetricTransitions, "n0", "pm", "failed")
+	if !ok || int(transFail.Value) != col.FailedTransitions {
+		t.Errorf("failed transitions = %v, want %d", transFail.Value, col.FailedTransitions)
+	}
+	done, _ := get(MetricRunsDone, "n0", "pm")
+	if done.Value != 1 {
+		t.Errorf("runs completed = %v, want 1", done.Value)
+	}
+	hist, ok := get(MetricIntervalW, "n0", "pm")
+	if !ok || hist.Count != uint64(col.Ticks) {
+		t.Errorf("interval histogram count = %d, want %d ticks", hist.Count, col.Ticks)
+	}
+	freq, _ := get(MetricFreq, "n0", "pm")
+	if freq.Value <= 0 {
+		t.Errorf("frequency gauge = %v", freq.Value)
+	}
+	if len(run.Rows) != col.Ticks {
+		t.Fatalf("collector ticks %d != trace rows %d", col.Ticks, len(run.Rows))
+	}
+}
+
+// TestObserverDegradations feeds a faulted run and checks degradation
+// counters appear per source without poisoning the power counters with
+// the NaN measurements dropout produces.
+func TestObserverDegradations(t *testing.T) {
+	plan := faults.Preset(0.1)
+	m, err := machine.New(machine.Config{Seed: 3, Chain: sensor.NIDefault(), Faults: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	col := &metrics.Collector{}
+	if _, err := m.RunWith(testWorkload(), nil, NewObserver(reg, "n0", "none"), col); err != nil {
+		t.Fatal(err)
+	}
+	if col.Degradations == 0 {
+		t.Fatal("fault preset produced no degradations; test is vacuous")
+	}
+	var total float64
+	for _, f := range reg.Snapshot().Families {
+		if f.Name != MetricDegradations {
+			continue
+		}
+		for _, s := range f.Series {
+			total += s.Value
+		}
+	}
+	if int(total) != col.Degradations {
+		t.Errorf("degradation series sum = %v, want %d", total, col.Degradations)
+	}
+	for _, f := range reg.Snapshot().Families {
+		for _, s := range f.Series {
+			if math.IsNaN(s.Value) || math.IsNaN(s.Sum) {
+				t.Errorf("family %s has NaN after faulted run", f.Name)
+			}
+		}
+	}
+}
+
+func TestSampleRuntime(t *testing.T) {
+	reg := NewRegistry()
+	SampleRuntime(reg)
+	snap := reg.Snapshot()
+	if len(snap.Families) == 0 {
+		t.Fatal("SampleRuntime registered no families")
+	}
+	var goroutines float64
+	for _, f := range snap.Families {
+		if f.Name == "go_goroutines" {
+			goroutines = f.Series[0].Value
+		}
+	}
+	if goroutines < 1 {
+		t.Errorf("go_goroutines = %g, want >= 1", goroutines)
+	}
+}

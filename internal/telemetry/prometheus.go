@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): for each family a # HELP and
+// # TYPE line followed by one sample line per series, histograms
+// expanded into cumulative _bucket series plus _sum and _count. The
+// output is deterministic — families sorted by name, series by label
+// values, labels in the family's declared key order — so the format
+// itself is pinned by a golden test.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		series := f.sortedSeries()
+		if len(series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *Family, s *Series) error {
+	switch f.kind {
+	case KindCounter, KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.labels, "", 0), formatValue(s.Value()))
+		return err
+	case KindHistogram:
+		s.mu.Lock()
+		counts := append([]uint64(nil), s.counts...)
+		sum, count := s.sum, s.count
+		s.mu.Unlock()
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(f.buckets) {
+				le = formatValue(f.buckets[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, s.labels, "", 0), formatValue(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, s.labels, "", 0), count)
+		return err
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}, appending the extra pair (the
+// histogram le label) when extraKey is non-empty; empty when there
+// are no labels at all.
+func labelString(keys, values []string, extraKey string, extraVal any) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(fmt.Sprint(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trip representation.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// Snapshot is the JSON-friendly view of the whole registry, consumed
+// by the dash's /api/telemetry endpoint. Histogram buckets carry
+// cumulative counts for the finite bounds; the +Inf count is Count.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one family's snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   string           `json:"kind"`
+	Labels []string         `json:"labels,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one series' snapshot.
+type SeriesSnapshot struct {
+	// Labels holds the label values in the family's key order.
+	Labels []string `json:"labels,omitempty"`
+	// Value is the counter total or gauge value.
+	Value float64 `json:"value"`
+	// Sum/Count/Buckets are histogram-only.
+	Sum     float64          `json:"sum,omitempty"`
+	Count   uint64           `json:"count,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one finite histogram bound with its cumulative
+// count.
+type BucketSnapshot struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Snapshot captures the registry's current state with the same
+// deterministic ordering as the exposition.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, f := range r.sortedFamilies() {
+		series := f.sortedSeries()
+		if len(series) == 0 {
+			continue
+		}
+		fs := FamilySnapshot{
+			Name:   f.name,
+			Help:   f.help,
+			Kind:   f.kind.String(),
+			Labels: append([]string(nil), f.labels...),
+		}
+		for _, s := range series {
+			ss := SeriesSnapshot{Labels: append([]string(nil), s.labels...)}
+			switch f.kind {
+			case KindHistogram:
+				s.mu.Lock()
+				ss.Sum, ss.Count = s.sum, s.count
+				var cum uint64
+				for i, c := range s.counts[:len(f.buckets)] {
+					cum += c
+					ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: f.buckets[i], Count: cum})
+				}
+				s.mu.Unlock()
+			default:
+				ss.Value = s.Value()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}

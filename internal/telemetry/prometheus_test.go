@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the exposition golden fixture under testdata/")
+
+// goldenRegistry builds a registry exercising every exposition shape:
+// unlabeled and labeled counters, gauges, a histogram with +Inf mass,
+// label-value escaping and HELP escaping.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("zz_last_total", "Sorts last.").With().Add(1)
+	c := reg.Counter("aapm_ticks_total", "Recorded monitoring intervals.", "node", "governor")
+	c.With("n1", "pm").Add(120)
+	c.With("n0", "pm").Add(240) // series sort by label values, so n0 first
+	g := reg.Gauge("aapm_power_watts", "True interval-average power of the last interval (watts).", "node", "governor")
+	g.With("n0", "pm").Set(14.25)
+	h := reg.Histogram("aapm_interval_power_watts", "Distribution of true interval-average power (watts).", []float64{10, 15, 20}, "node")
+	hs := h.With("n0")
+	for _, v := range []float64{9, 11, 14.5, 19, 30} {
+		hs.Observe(v)
+	}
+	reg.Counter("esc_total", "Help with a \\ backslash\nand a newline.", "path").
+		With("a\"b\\c\nd").Inc()
+	reg.Gauge("empty_family_gauge", "No series: omitted entirely.")
+	return reg
+}
+
+// TestPrometheusGolden pins the exposition format byte-for-byte:
+// family ordering, HELP/TYPE lines, label ordering and escaping,
+// histogram bucket/sum/count expansion and value formatting.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_exposition.prom")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/telemetry -run TestPrometheusGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, buf.String(), want)
+	}
+}
+
+// TestPrometheusWellFormed parses the exposition line by line and
+// checks the structural invariants a scraper relies on.
+func TestPrometheusWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var families []string
+	typeOf := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			families = append(families, parts[2])
+			typeOf[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if line == "" || !strings.Contains(line, " ") {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+	for i := 1; i < len(families); i++ {
+		if families[i-1] >= families[i] {
+			t.Errorf("families not sorted: %q before %q", families[i-1], families[i])
+		}
+	}
+	if typeOf["aapm_interval_power_watts"] != "histogram" {
+		t.Errorf("histogram TYPE = %q", typeOf["aapm_interval_power_watts"])
+	}
+	out := buf.String()
+	// Histogram expansion: cumulative buckets end at +Inf == _count.
+	for _, want := range []string{
+		`aapm_interval_power_watts_bucket{node="n0",le="10"} 1`,
+		`aapm_interval_power_watts_bucket{node="n0",le="15"} 3`,
+		`aapm_interval_power_watts_bucket{node="n0",le="20"} 4`,
+		`aapm_interval_power_watts_bucket{node="n0",le="+Inf"} 5`,
+		`aapm_interval_power_watts_count{node="n0"} 5`,
+		`esc_total{path="a\"b\\c\nd"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "empty_family_gauge") {
+		t.Error("family with no series must be omitted")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	snap := goldenRegistry().Snapshot()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Families) != len(snap.Families) {
+		t.Fatalf("round-trip families = %d, want %d", len(back.Families), len(snap.Families))
+	}
+	// Families sorted by name, kinds present, histogram carries buckets.
+	var sawHist bool
+	for i := 1; i < len(snap.Families); i++ {
+		if snap.Families[i-1].Name >= snap.Families[i].Name {
+			t.Errorf("snapshot families not sorted at %d", i)
+		}
+	}
+	for _, f := range snap.Families {
+		if f.Kind != "counter" && f.Kind != "gauge" && f.Kind != "histogram" {
+			t.Errorf("family %s has kind %q", f.Name, f.Kind)
+		}
+		if f.Kind == "histogram" {
+			sawHist = true
+			for _, s := range f.Series {
+				if len(s.Buckets) == 0 {
+					t.Errorf("histogram %s series missing buckets", f.Name)
+				}
+			}
+		}
+	}
+	if !sawHist {
+		t.Error("snapshot missing the histogram family")
+	}
+}

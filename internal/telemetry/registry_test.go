@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_total", "help", "node").With("a")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("Value = %g, want 3.5", got)
+	}
+	// NaN, Inf and negative deltas are dropped, not applied.
+	c.Add(math.NaN())
+	c.Add(math.Inf(1))
+	c.Add(-1)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("Value after bad deltas = %g, want 3.5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("t_gauge", "help").With()
+	g.Set(12.5)
+	g.Set(math.NaN()) // dropped acquisitions keep the last good value
+	g.Set(math.Inf(-1))
+	if got := g.Value(); got != 12.5 {
+		t.Errorf("Value = %g, want 12.5", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Errorf("gauges must accept negatives: got %g", got)
+	}
+}
+
+func TestWithReturnsStableHandle(t *testing.T) {
+	reg := NewRegistry()
+	f := reg.Counter("t_total", "help", "node")
+	if f.With("a") != f.With("a") {
+		t.Error("With returned different handles for the same labels")
+	}
+	if f.With("a") == f.With("b") {
+		t.Error("With returned the same handle for different labels")
+	}
+	// Re-registration with identical shape is idempotent.
+	if reg.Counter("t_total", "help", "node") != f {
+		t.Error("idempotent re-registration returned a new family")
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	reg.Counter("ok_total", "help", "node")
+	expectPanic("bad metric name", func() { reg.Counter("1bad", "h") })
+	expectPanic("bad label key", func() { reg.Counter("ok2_total", "h", "0x") })
+	expectPanic("reserved label key", func() { reg.Counter("ok3_total", "h", "__name__") })
+	expectPanic("kind conflict", func() { reg.Gauge("ok_total", "help", "node") })
+	expectPanic("help conflict", func() { reg.Counter("ok_total", "other", "node") })
+	expectPanic("label conflict", func() { reg.Counter("ok_total", "help", "governor") })
+	expectPanic("label arity", func() { reg.Counter("ok_total", "help", "node").With("a", "b") })
+	expectPanic("no buckets", func() { reg.Histogram("h1", "h", nil) })
+	expectPanic("non-increasing buckets", func() { reg.Histogram("h2", "h", []float64{1, 1}) })
+	expectPanic("non-finite bucket", func() { reg.Histogram("h3", "h", []float64{1, math.Inf(1)}) })
+	expectPanic("Set on counter", func() { reg.Counter("ok_total", "help", "node").With("a").Set(1) })
+	expectPanic("Observe on counter", func() { reg.Counter("ok_total", "help", "node").With("a").Observe(1) })
+	expectPanic("Add on gauge", func() { reg.Gauge("g1", "h").With().Add(1) })
+	expectPanic("Quantile on gauge", func() { reg.Gauge("g1", "h").With().Quantile(0.5) })
+}
+
+func TestHistogramQuantileKnownDistribution(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_hist", "help", []float64{1, 2, 4}).With()
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	// 10 observations uniformly in (0,1]: the whole mass sits in the
+	// first bucket, so quantiles interpolate on [0,1].
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("q1 = %g, want 1 (upper bound of first bucket)", got)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("q0.5 = %g, want 0.5", got)
+	}
+	// An observation beyond every bound lands in +Inf and clamps to the
+	// largest finite bound.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("q1 with +Inf mass = %g, want clamp to 4", got)
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Error("out-of-range q must return NaN")
+	}
+}
+
+// TestHistogramProperties is the satellite property test: for random
+// observation sets, (a) the per-bucket counts sum to the observation
+// count, and (b) the quantile estimate is monotone non-decreasing in q.
+func TestHistogramProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		reg := NewRegistry()
+		// Random strictly increasing bucket bounds.
+		nb := 1 + rng.Intn(8)
+		buckets := make([]float64, nb)
+		b := rng.Float64()
+		for i := range buckets {
+			b += 0.1 + rng.Float64()*5
+			buckets[i] = b
+		}
+		h := reg.Histogram("t_hist", "help", buckets).With()
+		n := rng.Intn(200)
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := rng.Float64() * (buckets[nb-1] * 1.5) // some land in +Inf
+			sum += v
+			h.Observe(v)
+		}
+		if got := h.Count(); got != uint64(n) {
+			t.Fatalf("trial %d: Count = %d, want %d", trial, got, n)
+		}
+		// Bucket counts sum to the observation count. The snapshot
+		// carries cumulative finite-bound counts; the +Inf remainder is
+		// Count - last cumulative, which must be non-negative.
+		snap := reg.Snapshot()
+		if n > 0 {
+			s := snap.Families[0].Series[0]
+			if s.Count != uint64(n) {
+				t.Fatalf("trial %d: snapshot count = %d, want %d", trial, s.Count, n)
+			}
+			if math.Abs(s.Sum-sum) > 1e-9*math.Abs(sum) {
+				t.Fatalf("trial %d: snapshot sum = %g, want %g", trial, s.Sum, sum)
+			}
+			var prev uint64
+			for i, bs := range s.Buckets {
+				if bs.Count < prev {
+					t.Fatalf("trial %d: cumulative bucket counts not monotone at %d", trial, i)
+				}
+				prev = bs.Count
+			}
+			if prev > uint64(n) {
+				t.Fatalf("trial %d: cumulative bucket count %d exceeds observations %d", trial, prev, n)
+			}
+		}
+		// Quantile estimates are monotone in q.
+		if n > 0 {
+			prevQ := math.Inf(-1)
+			for q := 0.0; q <= 1.0; q += 0.05 {
+				v := h.Quantile(q)
+				if math.IsNaN(v) {
+					t.Fatalf("trial %d: Quantile(%g) is NaN with %d observations", trial, q, n)
+				}
+				if v < prevQ {
+					t.Fatalf("trial %d: Quantile(%g) = %g < previous %g", trial, q, v, prevQ)
+				}
+				prevQ = v
+			}
+		}
+	}
+}
+
+func TestHistogramDropsNonFinite(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t_hist", "help", []float64{1}).With()
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	if h.Count() != 0 {
+		t.Errorf("Count = %d after non-finite observations, want 0", h.Count())
+	}
+}

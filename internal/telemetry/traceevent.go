@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"aapm/internal/machine"
+	"aapm/internal/trace"
+)
+
+// TraceEvent is one Chrome trace-event record — the JSON shape
+// Perfetto and chrome://tracing load. Timestamps and durations are in
+// microseconds of *virtual* time, so the viewer shows the simulated
+// timeline, free of host jitter.
+type TraceEvent struct {
+	Name string `json:"name"`
+	// Cat is the event category ("tick", "stage", "transition",
+	// "degradation", "power").
+	Cat string `json:"cat,omitempty"`
+	// Ph is the phase: "X" complete span, "i" instant, "C" counter,
+	// "M" metadata.
+	Ph  string  `json:"ph"`
+	TS  float64 `json:"ts"`
+	Dur float64 `json:"dur,omitempty"`
+	PID int     `json:"pid"`
+	TID int     `json:"tid"`
+	// Scope applies to instants: "t" thread, "p" process, "g" global.
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Track (tid) assignment within one run's process.
+const (
+	tidTicks  = 1 // per-interval spans, transition/degradation instants, counters
+	tidStages = 2 // per-stage sub-spans (virtual placement, wall-clock proportions)
+)
+
+// TraceEventWriter streams trace events as a Chrome trace-event JSON
+// array, one event per line (JSONL inside the array, the format both
+// Perfetto and chrome://tracing accept). Each run gets its own pid
+// ("process") with named tracks. Safe for concurrent hooks — parallel
+// experiment runs interleave their events under the writer's lock;
+// viewers order by timestamp, so interleaving does not affect the
+// rendered timeline.
+type TraceEventWriter struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	err     error
+	n       int
+	nextPID int
+	closed  bool
+}
+
+// NewTraceEventWriter starts a trace-event stream on w. Call Close to
+// terminate the JSON array; a truncated (unclosed) file still loads,
+// per the trace-event format's forgiving array grammar.
+func NewTraceEventWriter(w io.Writer) *TraceEventWriter {
+	tw := &TraceEventWriter{bw: bufio.NewWriterSize(w, 1<<16), nextPID: 1}
+	_, tw.err = tw.bw.WriteString("[\n")
+	return tw
+}
+
+// Emit appends one event. Marshal errors and write errors stick; the
+// first one is reported by Close.
+func (tw *TraceEventWriter) Emit(ev TraceEvent) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	tw.emitLocked(ev)
+}
+
+func (tw *TraceEventWriter) emitLocked(ev TraceEvent) {
+	if tw.err != nil || tw.closed {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		tw.err = err
+		return
+	}
+	if tw.n > 0 {
+		if _, err := tw.bw.WriteString(",\n"); err != nil {
+			tw.err = err
+			return
+		}
+	}
+	if _, err := tw.bw.Write(b); err != nil {
+		tw.err = err
+		return
+	}
+	tw.n++
+}
+
+// Events returns the number of events emitted so far.
+func (tw *TraceEventWriter) Events() int {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return tw.n
+}
+
+// Close terminates the JSON array and reports the first emission or
+// write error. It does not close the underlying writer.
+func (tw *TraceEventWriter) Close() error {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.closed {
+		return tw.err
+	}
+	tw.closed = true
+	if tw.err == nil {
+		_, tw.err = tw.bw.WriteString("\n]\n")
+	}
+	if err := tw.bw.Flush(); tw.err == nil {
+		tw.err = err
+	}
+	return tw.err
+}
+
+// RunHook allocates a process id for one run and returns the
+// machine.Hook that exports it: a span per monitoring interval (named
+// by the active workload phase), per-stage sub-spans when stage
+// timing is enabled, a power counter track, and instants for p-state
+// transitions and degradation events. Subscribe the hook to exactly
+// one session.
+func (tw *TraceEventWriter) RunHook(node, policy string) machine.Hook {
+	tw.mu.Lock()
+	pid := tw.nextPID
+	tw.nextPID++
+	// Process + thread naming metadata so the viewer labels tracks.
+	tw.emitLocked(TraceEvent{Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": fmt.Sprintf("%s [%s]", node, policy)}})
+	tw.emitLocked(TraceEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tidTicks, Args: map[string]any{"name": "intervals"}})
+	tw.emitLocked(TraceEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tidStages, Args: map[string]any{"name": "stages (wall-clock proportions)"}})
+	tw.mu.Unlock()
+	return &runExporter{tw: tw, pid: pid}
+}
+
+// runExporter is the per-run trace hook.
+type runExporter struct {
+	tw  *TraceEventWriter
+	pid int
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// OnTick implements machine.Hook.
+func (e *runExporter) OnTick(ts machine.TickState) {
+	name := ts.Phase
+	if name == "" {
+		name = "interval"
+	}
+	args := map[string]any{
+		"freq_mhz": ts.PState.FreqMHz,
+		"duty":     ts.Duty,
+	}
+	// NaN/Inf (dropped or faulted acquisitions) are not representable
+	// in JSON; omit the key rather than poisoning the stream.
+	if finite(ts.TruePowerW) {
+		args["true_w"] = ts.TruePowerW
+	}
+	if finite(ts.MeasuredPowerW) {
+		args["measured_w"] = ts.MeasuredPowerW
+	}
+	if ts.TempC != 0 && finite(ts.TempC) {
+		args["temp_c"] = ts.TempC
+	}
+	e.tw.mu.Lock()
+	defer e.tw.mu.Unlock()
+	e.tw.emitLocked(TraceEvent{
+		Name: name, Cat: "tick", Ph: "X",
+		TS: micros(ts.Start), Dur: micros(ts.Used),
+		PID: e.pid, TID: tidTicks, Args: args,
+	})
+	if finite(ts.TruePowerW) {
+		e.tw.emitLocked(TraceEvent{
+			Name: "power_w", Cat: "power", Ph: "C",
+			TS: micros(ts.Start), PID: e.pid, TID: tidTicks,
+			Args: map[string]any{"true": ts.TruePowerW},
+		})
+	}
+	// Stage sub-spans: wall-clock stage costs rescaled onto the
+	// interval's virtual extent, so the relative weight of
+	// execute/measure/observe/govern/actuate is visible in-line with
+	// the tick it belongs to.
+	var totalNs int64
+	for _, n := range ts.StageNanos {
+		totalNs += n
+	}
+	if totalNs <= 0 {
+		return
+	}
+	start := ts.Start
+	for i, n := range ts.StageNanos {
+		if n <= 0 {
+			continue
+		}
+		dur := time.Duration(float64(ts.Used) * float64(n) / float64(totalNs))
+		e.tw.emitLocked(TraceEvent{
+			Name: machine.StageNames[i], Cat: "stage", Ph: "X",
+			TS: micros(start), Dur: micros(dur),
+			PID: e.pid, TID: tidStages,
+			Args: map[string]any{"wall_ns": n},
+		})
+		start += dur
+	}
+}
+
+// OnTransition implements machine.Hook.
+func (e *runExporter) OnTransition(tr machine.Transition) {
+	name := fmt.Sprintf("P%d->P%d", tr.From, tr.To)
+	if !tr.OK {
+		name += " (failed)"
+	}
+	e.tw.Emit(TraceEvent{
+		Name: name, Cat: "transition", Ph: "i",
+		TS: micros(tr.T), PID: e.pid, TID: tidTicks, Scope: "t",
+		Args: map[string]any{"from": tr.From, "to": tr.To, "ok": tr.OK, "stall_us": micros(tr.Stall)},
+	})
+}
+
+// OnDegradation implements machine.Hook.
+func (e *runExporter) OnDegradation(d trace.Degradation) {
+	args := map[string]any{"kind": d.Kind}
+	if d.Detail != "" {
+		args["detail"] = d.Detail
+	}
+	e.tw.Emit(TraceEvent{
+		Name: d.Source + "/" + d.Kind, Cat: "degradation", Ph: "i",
+		TS: micros(d.T), PID: e.pid, TID: tidTicks, Scope: "t",
+		Args: args,
+	})
+}
+
+// OnDone implements machine.Hook.
+func (e *runExporter) OnDone(run *trace.Run) {
+	e.tw.Emit(TraceEvent{
+		Name: "run_done", Cat: "tick", Ph: "i",
+		TS: micros(run.Duration), PID: e.pid, TID: tidTicks, Scope: "p",
+		Args: map[string]any{"energy_j": run.EnergyJ, "transitions": run.Transitions},
+	})
+}

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"aapm/internal/control"
+	"aapm/internal/faults"
+	"aapm/internal/machine"
+	"aapm/internal/sensor"
+)
+
+// traceRun executes one test run with a RunHook subscribed (stage
+// timing on) and returns the decoded event stream.
+func traceRun(t *testing.T, faulty bool) ([]map[string]any, *TraceEventWriter) {
+	t.Helper()
+	cfg := machine.Config{Seed: 1, Chain: sensor.NIDefault()}
+	if faulty {
+		plan := faults.Preset(0.1)
+		cfg.Faults = &plan
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := control.NewPerformanceMaximizer(control.PMConfig{LimitW: 12.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw := NewTraceEventWriter(&buf)
+	s, err := m.NewSession(testWorkload(), pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Subscribe(tw.RunHook("n0", "pm"))
+	s.EnableStageTiming()
+	for {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	s.Result()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not a JSON array: %v", err)
+	}
+	if len(events) != tw.Events() {
+		t.Fatalf("decoded %d events, writer reports %d", len(events), tw.Events())
+	}
+	return events, tw
+}
+
+// TestTraceEventSchema validates the stream against the trace-event
+// format: required keys per phase, known phases, non-negative
+// timestamps, and the specific span/instant/counter shapes the
+// exporter promises.
+func TestTraceEventSchema(t *testing.T) {
+	events, _ := traceRun(t, false)
+	if len(events) < 10 {
+		t.Fatalf("only %d events", len(events))
+	}
+	counts := map[string]int{}
+	var lastTickTS = -1.0
+	for i, ev := range events {
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		if name == "" {
+			t.Fatalf("event %d missing name: %v", i, ev)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event %d missing pid: %v", i, ev)
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok || ts < 0 {
+			t.Fatalf("event %d bad ts: %v", i, ev)
+		}
+		counts[ph]++
+		switch ph {
+		case "M":
+			args, _ := ev["args"].(map[string]any)
+			if args["name"] == "" {
+				t.Fatalf("metadata event %d missing args.name: %v", i, ev)
+			}
+		case "X":
+			if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+				t.Fatalf("span %d bad dur: %v", i, ev)
+			}
+			if cat, _ := ev["cat"].(string); cat == "tick" {
+				// Interval spans are emitted in virtual-time order.
+				if ts < lastTickTS {
+					t.Fatalf("tick span %d ts %g < previous %g", i, ts, lastTickTS)
+				}
+				lastTickTS = ts
+				args, _ := ev["args"].(map[string]any)
+				if _, ok := args["freq_mhz"].(float64); !ok {
+					t.Fatalf("tick span %d missing freq_mhz: %v", i, ev)
+				}
+			}
+		case "i":
+			if s, _ := ev["s"].(string); s != "t" && s != "p" && s != "g" {
+				t.Fatalf("instant %d bad scope %q", i, ev["s"])
+			}
+		case "C":
+			args, _ := ev["args"].(map[string]any)
+			if len(args) == 0 {
+				t.Fatalf("counter %d missing args: %v", i, ev)
+			}
+		default:
+			t.Fatalf("event %d unknown phase %q", i, ph)
+		}
+	}
+	if counts["M"] < 3 {
+		t.Errorf("want process+thread metadata, got %d M events", counts["M"])
+	}
+	for _, ph := range []string{"X", "i", "C"} {
+		if counts[ph] == 0 {
+			t.Errorf("no %q events emitted", ph)
+		}
+	}
+	// The PM at a tight limit must shift p-states: transition instants.
+	var transitions, stages int
+	for _, ev := range events {
+		switch ev["cat"] {
+		case "transition":
+			transitions++
+		case "stage":
+			stages++
+		}
+	}
+	if transitions == 0 {
+		t.Error("no transition instants in a PM run")
+	}
+	if stages == 0 {
+		t.Error("stage timing enabled but no stage spans")
+	}
+}
+
+// TestTraceEventFaultedRunStaysValid pins the NaN guards: a run with
+// sensor dropout (NaN measured power) must still close cleanly and
+// produce valid JSON, with degradation instants present.
+func TestTraceEventFaultedRunStaysValid(t *testing.T) {
+	events, _ := traceRun(t, true)
+	var degr int
+	for _, ev := range events {
+		if ev["cat"] == "degradation" {
+			degr++
+		}
+	}
+	if degr == 0 {
+		t.Error("faulted run emitted no degradation instants")
+	}
+}
+
+// TestTraceEventMultiRun checks pid allocation: two hooks on one
+// writer produce distinct process tracks with their own metadata.
+func TestTraceEventMultiRun(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceEventWriter(&buf)
+	h1 := tw.RunHook("a", "pm")
+	h2 := tw.RunHook("b", "ps")
+	_ = h1
+	_ = h2
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[float64][]string{}
+	for _, ev := range events {
+		if ev["name"] == "process_name" {
+			args := ev["args"].(map[string]any)
+			pid := ev["pid"].(float64)
+			pids[pid] = append(pids[pid], args["name"].(string))
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("want 2 process tracks, got %v", pids)
+	}
+	var names []string
+	for _, ns := range pids {
+		names = append(names, ns...)
+	}
+	joined := strings.Join(names, ";")
+	if !strings.Contains(joined, "a [pm]") || !strings.Contains(joined, "b [ps]") {
+		t.Errorf("process names = %v", names)
+	}
+}
+
+func TestTraceEventCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceEventWriter(&buf)
+	tw.Emit(TraceEvent{Name: "x", Ph: "i", PID: 1, Scope: "g"})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Error("second Close wrote more bytes")
+	}
+	tw.Emit(TraceEvent{Name: "late", Ph: "i", PID: 1, Scope: "g"})
+	if buf.Len() != n || tw.Events() != 1 {
+		t.Error("Emit after Close must be a no-op")
+	}
+}
