@@ -38,5 +38,39 @@ golden-update:
 telemetry-smoke:
 	go test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkStagedTick' -benchtime 1x .
 
+# End-to-end smoke of the run service: build aapm-serve, start it on a
+# loopback port, submit the golden-config job over HTTP, poll until
+# done, and assert the result and the serve metrics look sane.
+SERVE_SMOKE_ADDR ?= 127.0.0.1:18080
+.PHONY: serve-smoke
+serve-smoke:
+	go build -o /tmp/aapm-serve ./cmd/aapm-serve
+	@set -e; \
+	/tmp/aapm-serve -addr $(SERVE_SMOKE_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do curl -sf $(SERVE_SMOKE_ADDR)/metrics >/dev/null && break; sleep 0.1; done; \
+	id=$$(curl -sf -X POST $(SERVE_SMOKE_ADDR)/api/jobs \
+		-d '{"workload":"ammp","governor":"pm:limit=14.5","seed":1,"iterations":1}' | jq -r .id); \
+	echo "submitted $$id"; \
+	state=queued; \
+	for i in $$(seq 1 100); do \
+		state=$$(curl -sf $(SERVE_SMOKE_ADDR)/api/jobs/$$id | jq -r .state); \
+		case $$state in done|failed|canceled|aborted) break;; esac; \
+		sleep 0.1; \
+	done; \
+	[ "$$state" = done ] || { echo "job ended $$state"; exit 1; }; \
+	avg=$$(curl -sf $(SERVE_SMOKE_ADDR)/api/jobs/$$id/result | jq .avg_power_w); \
+	echo "avg_power_w=$$avg"; \
+	awk -v a="$$avg" 'BEGIN { exit !(a > 0) }' || { echo "degenerate avg power"; exit 1; }; \
+	curl -sf $(SERVE_SMOKE_ADDR)/metrics | grep -q aapm_serve_queue_depth \
+		|| { echo "metrics missing the serve family"; exit 1; }; \
+	echo "serve smoke OK"
+
+# Submit-latency benchmark for the run service's cache-hit path; the
+# committed BENCH_serve.json tracks datapoints over time.
+.PHONY: serve-bench
+serve-bench:
+	go test -run '^$$' -bench BenchmarkServeSubmitLatency -benchtime 2s ./internal/serve/
+
 .PHONY: all
 all: vet test race

@@ -35,6 +35,7 @@ import (
 	"aapm/internal/phase"
 	"aapm/internal/pstate"
 	"aapm/internal/sensor"
+	"aapm/internal/serve"
 	"aapm/internal/spec"
 	"aapm/internal/telemetry"
 	"aapm/internal/thermal"
@@ -268,6 +269,29 @@ type TraceEventWriter = telemetry.TraceEventWriter
 func NewTraceEventWriter(w io.Writer) *TraceEventWriter {
 	return telemetry.NewTraceEventWriter(w)
 }
+
+// RunService is the asynchronous run service: a bounded job queue
+// with backpressure, a worker pool reusing the simulation entry
+// points, a content-addressed result cache, and an NDJSON progress
+// stream per job; mount RunService.Handler on an HTTP mux (see
+// cmd/aapm-serve).
+type RunService = serve.Service
+
+// RunServiceConfig configures a RunService; the zero value gives a
+// queue of 64, min(GOMAXPROCS, 4) workers and a 2-minute job deadline.
+type RunServiceConfig = serve.Config
+
+// JobSpec describes one run-service job; equal normalized specs share
+// one content-addressed job (and therefore one cached result).
+type JobSpec = serve.JobSpec
+
+// JobState is a run-service job's lifecycle state
+// (queued/running/done/failed/canceled/aborted).
+type JobState = serve.State
+
+// NewRunService starts a run service's workers and returns it; call
+// Shutdown to drain.
+func NewRunService(cfg RunServiceConfig) *RunService { return serve.New(cfg) }
 
 // WorkloadFromTrace inverts a recorded run into a replayable workload —
 // the record-and-replay workflow for evaluating policies offline from

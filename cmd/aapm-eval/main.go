@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"aapm/internal/experiment"
@@ -34,7 +35,9 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiment.Registry() {
+		entries := experiment.Registry()
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+		for _, e := range entries {
 			fmt.Printf("%-18s %s\n", e.Name, e.Describe)
 		}
 		return
@@ -81,12 +84,15 @@ func main() {
 		}
 	}
 	known := map[string]bool{}
+	names := make([]string, 0, len(experiment.Registry()))
 	for _, e := range experiment.Registry() {
 		known[e.Name] = true
+		names = append(names, e.Name)
 	}
+	sort.Strings(names)
 	for name := range want {
 		if !known[name] {
-			fatal(fmt.Errorf("unknown experiment %q (use -list)", name))
+			fatal(fmt.Errorf("unknown experiment %q; available: %s", name, strings.Join(names, ", ")))
 		}
 	}
 	for _, e := range experiment.Registry() {

@@ -1,0 +1,100 @@
+// Command aapm-serve runs the asynchronous run service: submit
+// simulation jobs over HTTP, poll or stream their progress, and fetch
+// cached results. The interactive dashboard and the Prometheus
+// /metrics endpoint share the same mux and telemetry registry, so one
+// scrape sees the service, every job's run, and the Go runtime.
+//
+// Usage:
+//
+//	aapm-serve [-addr :8080] [-queue 64] [-workers 4] [-job-timeout 2m] [-pprof]
+//
+// Quick start:
+//
+//	aapm-serve &
+//	curl -s -X POST localhost:8080/api/jobs \
+//	  -d '{"workload":"ammp","governor":"pm:limit=14.5","seed":1}'
+//	curl -s localhost:8080/api/jobs/<id>            # poll status
+//	curl -sN localhost:8080/api/jobs/<id>/events    # stream progress
+//	curl -s localhost:8080/api/jobs/<id>/result     # cached result
+//
+// SIGINT/SIGTERM shuts down gracefully: intake stops, queued jobs are
+// marked aborted, running jobs drain (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"aapm/internal/dash"
+	"aapm/internal/serve"
+	"aapm/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", 64, "pending-job queue depth (full queue answers 429)")
+	workers := flag.Int("workers", 4, "execution pool cap; effective pool is min(GOMAXPROCS, workers)")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job execution deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for running jobs")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	svc := serve.New(serve.Config{
+		QueueDepth: *queue,
+		Workers:    *workers,
+		JobTimeout: *jobTimeout,
+		Telemetry:  reg,
+	})
+
+	// One mux: the job API, the dashboard (which also serves /metrics
+	// and /api/telemetry from the shared registry), and optionally
+	// pprof via the dash options.
+	mux := http.NewServeMux()
+	mux.Handle("/api/jobs", svc.Handler())
+	mux.Handle("/api/jobs/", svc.Handler())
+	mux.Handle("/", dash.NewHandler(dash.Options{Telemetry: reg, PProf: *pprofOn}))
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	host := *addr
+	if strings.HasPrefix(host, ":") {
+		host = "localhost" + host
+	}
+	fmt.Printf("aapm run service listening on %s (%d workers, queue %d)\n", *addr, svc.Workers(), *queue)
+	fmt.Printf("  submit:  POST http://%s/api/jobs\n", host)
+	fmt.Printf("  metrics: http://%s/metrics\n", host)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case s := <-sig:
+		fmt.Printf("aapm-serve: %s — draining (up to %s)\n", s, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "aapm-serve: http shutdown:", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "aapm-serve: drain timed out; running jobs aborted")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aapm-serve:", err)
+	os.Exit(1)
+}

@@ -20,6 +20,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -124,8 +125,18 @@ type Result struct {
 	CoordWall  metrics.WallClock
 }
 
-// Run executes the co-simulation.
+// Run executes the co-simulation to completion.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the co-simulation under ctx: cancellation (or a
+// deadline) is observed between lockstep ticks, abandoning the run
+// with ctx's error. A nil ctx behaves like context.Background.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(cfg.Nodes)
 	if n == 0 {
 		return nil, fmt.Errorf("cluster: no nodes")
@@ -233,6 +244,9 @@ func Run(cfg Config) (*Result, error) {
 	var intervals, overIntervals, contended, overContended int
 
 	for tick := 0; ; tick++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: abandoned after %d ticks: %w", tick, err)
+		}
 		for i := range st.stepped {
 			st.stepped[i] = false
 		}

@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Config{
+		BudgetW: 30,
+		Nodes:   nodes(t, "gzip", "gcc"),
+		Seed:    7,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunNilContextMatchesBackground(t *testing.T) {
+	cfg := Config{BudgetW: 30, Nodes: nodes(t, "gzip", "gcc"), Seed: 7}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), Config{BudgetW: 30, Nodes: nodes(t, "gzip", "gcc"), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.MachineSeconds != b.MachineSeconds {
+		t.Errorf("Run and RunContext diverged: %v/%v vs %v/%v",
+			a.Makespan, a.MachineSeconds, b.Makespan, b.MachineSeconds)
+	}
+}

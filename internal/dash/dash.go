@@ -64,9 +64,23 @@ func NewHandler(opts Options) http.Handler {
 	return mux
 }
 
+// requireGet answers non-GET requests with 405 + Allow, the same
+// contract as /api/run.
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return false
+	}
+	return true
+}
+
 // metrics serves the registry in Prometheus text exposition format,
 // refreshing the Go runtime gauges on every scrape.
 func (srv *server) metrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	telemetry.SampleRuntime(srv.reg)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = srv.reg.WritePrometheus(w)
@@ -76,6 +90,9 @@ func (srv *server) metrics(w http.ResponseWriter, r *http.Request) {
 // as /metrics, for clients that would rather not parse exposition
 // text.
 func (srv *server) apiTelemetry(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	writeJSON(w, srv.reg.Snapshot())
 }
 
@@ -118,6 +135,9 @@ type runResponse struct {
 }
 
 func apiWorkloads(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	writeJSON(w, spec.Names())
 }
 
@@ -179,10 +199,21 @@ func (srv *server) apiRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	policy := "none"
+	if gov != nil {
+		policy = gov.Name()
+	}
 	s.Subscribe(col)
-	s.Subscribe(telemetry.NewObserver(srv.reg, name, gov.Name()))
+	s.Subscribe(telemetry.NewObserver(srv.reg, name, policy))
 	s.EnableStageTiming()
+	ctx := r.Context()
 	for {
+		// A disconnected client cancels the request context: abandon
+		// the simulation instead of burning a core to completion for
+		// a response nobody will read.
+		if ctx.Err() != nil {
+			return
+		}
 		done, err := s.Step()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())

@@ -1,6 +1,7 @@
 package dash
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -126,6 +127,57 @@ func TestAPIRunMethodNotAllowed(t *testing.T) {
 		if allow := rec.Header().Get("Allow"); allow != http.MethodGet {
 			t.Errorf("%s /api/run Allow = %q, want GET", method, allow)
 		}
+	}
+}
+
+// TestGetOnlyEndpointsMethodNotAllowed pins the read-only contract on
+// the GET surfaces: anything but GET answers 405 and names the allowed
+// method.
+func TestGetOnlyEndpointsMethodNotAllowed(t *testing.T) {
+	h := Handler()
+	for _, path := range []string{"/api/workloads", "/api/telemetry", "/metrics"} {
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			req := httptest.NewRequest(method, path, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s -> %d, want 405", method, path, rec.Code)
+			}
+			if allow := rec.Header().Get("Allow"); allow != http.MethodGet {
+				t.Errorf("%s %s Allow = %q, want GET", method, path, allow)
+			}
+		}
+	}
+}
+
+// TestAPIRunNoGovernor pins the gov=none path: control.Parse returns a
+// nil governor there, which used to panic when building the telemetry
+// observer's policy label.
+func TestAPIRunNoGovernor(t *testing.T) {
+	rec := get(t, Handler(), "/api/run?workload=gzip&gov=none&seed=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp runResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Workload != "gzip" || len(resp.Rows) == 0 {
+		t.Errorf("degenerate run payload: %+v", resp)
+	}
+}
+
+// TestAPIRunClientDisconnect checks the run loop honors the request
+// context: with the context already canceled the handler abandons the
+// simulation and writes no payload.
+func TestAPIRunClientDisconnect(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/api/run?workload=gzip&gov=pm:limit=14.5", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, req)
+	if rec.Body.Len() != 0 {
+		t.Errorf("canceled request still produced %d bytes", rec.Body.Len())
 	}
 }
 

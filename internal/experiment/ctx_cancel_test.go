@@ -1,0 +1,23 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestCanceledContextAbandonsRuns pins Options.Ctx: a canceled context
+// makes experiment entry points fail fast instead of simulating.
+func TestCanceledContextAbandonsRuns(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		c, err := NewContext(Options{Seed: 7, Parallelism: par, Ctx: cctx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Fig1PowerVariation(); !errors.Is(err, context.Canceled) {
+			t.Errorf("Parallelism=%d: err = %v, want context.Canceled", par, err)
+		}
+	}
+}

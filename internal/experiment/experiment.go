@@ -11,6 +11,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -50,6 +51,30 @@ type Options struct {
 	// unchanged. Runs may execute concurrently — the factory and its
 	// hooks must tolerate that.
 	Observer func(workload, policy string) machine.Hook
+	// Ctx, when non-nil, cancels in-flight experiment work: once it
+	// is done, no new run is started (forEach stops launching and run
+	// repetitions stop between executions) and the context's error is
+	// returned. Results are unchanged for work that did complete —
+	// cancellation only cuts the computation short. nil means never
+	// canceled.
+	Ctx context.Context
+}
+
+// ctxErr returns the configured context's error, if any.
+func (c *Context) ctxErr() error {
+	if c.opts.Ctx == nil {
+		return nil
+	}
+	return c.opts.Ctx.Err()
+}
+
+// ctxDone returns the configured context's done channel (nil — which
+// never fires in a select — when no context was configured).
+func (c *Context) ctxDone() <-chan struct{} {
+	if c.opts.Ctx == nil {
+		return nil
+	}
+	return c.opts.Ctx.Done()
 }
 
 // Context owns the shared platform configuration and a cache of
@@ -140,6 +165,9 @@ func (c *Context) run(key, workload string, f govFactory) (*trace.Run, error) {
 	}
 	runs := make([]*trace.Run, 0, reps)
 	for rep := 0; rep < reps; rep++ {
+		if err := c.ctxErr(); err != nil {
+			return nil, err
+		}
 		// Each repetition gets its own noise/jitter stream; governors
 		// are stateful, so each gets a fresh instance too.
 		m, err := machine.New(machine.Config{Chain: c.chain, Seed: c.opts.Seed + int64(rep)*1_000_003})
@@ -240,6 +268,9 @@ func (c *Context) forEachN(n int, fn func(i int) error) error {
 	}
 	if par <= 1 {
 		for i := 0; i < n; i++ {
+			if err := c.ctxErr(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -259,6 +290,13 @@ launch:
 		select {
 		case <-stop:
 			// A job failed: abandon the remaining work.
+			break launch
+		case <-c.ctxDone():
+			// Canceled: stop launching; running jobs finish and the
+			// context error joins whatever they returned.
+			mu.Lock()
+			errs = append(errs, c.ctxErr())
+			mu.Unlock()
 			break launch
 		default:
 		}

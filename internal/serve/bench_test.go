@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeSubmitLatency measures the duplicate-submission round
+// trip — the cache-hit path: HTTP POST, spec canonicalization and
+// hashing, job-table lookup, status marshaling. The first submission
+// runs the simulation once outside the timed region.
+func BenchmarkServeSubmitLatency(b *testing.B) {
+	svc := New(Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	}()
+
+	spec := quickSpec()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func() int {
+		resp, err := http.Post(ts.URL+"/api/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		return resp.StatusCode
+	}
+	if code := post(); code != http.StatusAccepted {
+		b.Fatalf("first submit = %d", code)
+	}
+	id := spec.ID()
+	for {
+		j, ok := svc.Get(id)
+		if !ok {
+			b.Fatal("job vanished")
+		}
+		if st := j.State(); st.Terminal() {
+			if st != StateDone {
+				b.Fatalf("warmup job ended %s", st)
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := post(); code != http.StatusOK {
+			b.Fatalf("duplicate submit = %d", code)
+		}
+	}
+}

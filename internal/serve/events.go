@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"aapm/internal/machine"
+	"aapm/internal/trace"
+)
+
+// eventLog buffers a job's progress events (marshaled NDJSON lines)
+// in a bounded ring and fans live events out to stream subscribers.
+// A subscriber first receives the buffered history, then live lines;
+// the channel closes when the job reaches a terminal state. A slow
+// subscriber never stalls the simulation: lines that don't fit its
+// channel are dropped (progress ticks are samples, not a transcript).
+type eventLog struct {
+	mu     sync.Mutex
+	ring   [][]byte // last cap lines, oldest first
+	cap    int
+	closed bool
+	subs   map[chan []byte]struct{}
+}
+
+func newEventLog(capacity int) *eventLog {
+	return &eventLog{cap: capacity, subs: make(map[chan []byte]struct{})}
+}
+
+// publish appends one marshaled line to the ring and offers it to
+// every live subscriber. No-op once closed.
+func (l *eventLog) publish(line []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	if len(l.ring) == l.cap {
+		copy(l.ring, l.ring[1:])
+		l.ring = l.ring[:l.cap-1]
+	}
+	l.ring = append(l.ring, line)
+	for ch := range l.subs {
+		select {
+		case ch <- line:
+		default: // slow consumer: drop rather than stall the run
+		}
+	}
+}
+
+// close ends the stream: subscriber channels close after draining.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for ch := range l.subs {
+		close(ch)
+	}
+	l.subs = make(map[chan []byte]struct{})
+}
+
+// subscribe returns the buffered history and a live channel (already
+// closed when the log is). cancel detaches the subscriber early.
+func (l *eventLog) subscribe() (replay [][]byte, ch chan []byte, cancel func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	replay = append([][]byte(nil), l.ring...)
+	ch = make(chan []byte, 64)
+	if l.closed {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	l.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if _, live := l.subs[ch]; live {
+			delete(l.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// progressEvent is one NDJSON line of GET /api/jobs/{id}/events.
+// Type is "state" for lifecycle changes (queued/running/…; Detail
+// carries the terminal error, if any) and "tick" for sampled
+// simulation progress.
+type progressEvent struct {
+	Type    string  `json:"type"`
+	State   State   `json:"state,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+	Node    string  `json:"node,omitempty"`
+	Tick    int     `json:"tick,omitempty"`
+	TMs     float64 `json:"t_ms,omitempty"`
+	FreqMHz int     `json:"freq_mhz,omitempty"`
+	PowerW  float64 `json:"power_w,omitempty"`
+	Phase   string  `json:"phase,omitempty"`
+}
+
+func marshalEvent(e progressEvent) []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		panic(fmt.Sprintf("serve: marshaling progress event: %v", err))
+	}
+	return b
+}
+
+// progressHook subscribes to a session's Hook bus and samples its
+// ticks into the job's event log: every 'every'-th interval plus the
+// final one, labeled with the node name for cluster jobs. Purely
+// observational, so traces through the serve path stay byte-identical
+// to direct runs.
+type progressHook struct {
+	machine.BaseHook
+	log   *eventLog
+	node  string
+	every int
+}
+
+func newProgressHook(log *eventLog, node string, every int) *progressHook {
+	if every < 1 {
+		every = 1
+	}
+	return &progressHook{log: log, node: node, every: every}
+}
+
+// OnTick implements machine.Hook.
+func (h *progressHook) OnTick(ts machine.TickState) {
+	if !ts.Final && ts.Tick%h.every != 0 {
+		return
+	}
+	p := ts.MeasuredPowerW
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		// A faulted sensor can drop a reading; JSON has no NaN.
+		p = 0
+	}
+	h.log.publish(marshalEvent(progressEvent{
+		Type:    "tick",
+		Node:    h.node,
+		Tick:    ts.Tick,
+		TMs:     float64(ts.Start+ts.Used) / float64(time.Millisecond),
+		FreqMHz: ts.PState.FreqMHz,
+		PowerW:  p,
+		Phase:   ts.Phase,
+	}))
+}
+
+// OnDone implements machine.Hook.
+func (h *progressHook) OnDone(*trace.Run) {}

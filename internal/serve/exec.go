@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"aapm/internal/cluster"
+	"aapm/internal/control"
+	"aapm/internal/experiment"
+	"aapm/internal/machine"
+	"aapm/internal/sensor"
+	"aapm/internal/spec"
+	"aapm/internal/telemetry"
+	"aapm/internal/thermal"
+	"aapm/internal/trace"
+)
+
+// execute runs one job under its context, dispatching on the spec
+// kind. It returns the JSON result payload and, for single-machine
+// jobs, the recorded run (the CSV view). Cancellation and deadline
+// both surface as ctx's error.
+func (s *Service) execute(ctx context.Context, j *Job) (Result, *trace.Run, error) {
+	switch {
+	case j.Spec.Experiment != "":
+		return s.runExperiment(ctx, j)
+	case j.Spec.Nodes > 1:
+		return s.runCluster(ctx, j)
+	default:
+		return s.runSingle(ctx, j)
+	}
+}
+
+// chainFor resolves the spec's measurement chain name.
+func chainFor(name string) sensor.Chain {
+	if name == ChainNI {
+		return sensor.NIDefault()
+	}
+	return sensor.Chain{} // ideal
+}
+
+// runSingle executes one workload under one governor on a fresh
+// machine — the same entry points aapm-run and the dash use, stepped
+// here so the job's context is honored between intervals. The trace
+// is identical to a direct machine run of the same spec (the hooks on
+// the bus are purely observational), which the golden-through-serve
+// test pins byte-for-byte.
+func (s *Service) runSingle(ctx context.Context, j *Job) (Result, *trace.Run, error) {
+	js := j.Spec
+	w, err := spec.ByName(js.Workload)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if js.Iterations > 0 {
+		w.Iterations = js.Iterations
+	}
+	mcfg := machine.Config{Chain: chainFor(js.Chain), Seed: js.Seed, MaxTicks: js.MaxTicks}
+	if js.Thermal {
+		tc := thermal.PentiumMThermal()
+		mcfg.Thermal = &tc
+	}
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	gov, err := control.Parse(js.Governor, m.Table())
+	if err != nil {
+		return Result{}, nil, err
+	}
+	sess, err := m.NewSession(w, gov)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	policy := "none"
+	if gov != nil {
+		policy = gov.Name()
+	}
+	sess.Subscribe(newProgressHook(j.events, "", s.cfg.ProgressEvery))
+	sess.Subscribe(telemetry.NewObserver(s.reg, js.Workload, policy))
+	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, nil, err
+		}
+		done, err := sess.Step()
+		if err != nil {
+			return Result{}, nil, err
+		}
+		if done {
+			break
+		}
+	}
+	run := sess.Result()
+	return Result{
+		ID:          j.ID,
+		Workload:    run.Workload,
+		Policy:      run.Policy,
+		DurationSec: run.Duration.Seconds(),
+		EnergyJ:     run.EnergyJ,
+		AvgPowerW:   run.AvgPowerW(),
+		Transitions: run.Transitions,
+		Ticks:       len(run.Rows),
+	}, run, nil
+}
+
+// runCluster co-simulates Nodes copies of the workload under the
+// shared-budget coordinator (cluster.RunContext), streaming per-node
+// progress into the job's event log.
+func (s *Service) runCluster(ctx context.Context, j *Job) (Result, *trace.Run, error) {
+	js := j.Spec
+	w, err := spec.ByName(js.Workload)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if js.Iterations > 0 {
+		w.Iterations = js.Iterations
+	}
+	nodes := make([]cluster.Node, js.Nodes)
+	for i := range nodes {
+		nodes[i] = cluster.Node{Name: fmt.Sprintf("%s-%d", js.Workload, i), Workload: w}
+	}
+	res, err := cluster.RunContext(ctx, cluster.Config{
+		BudgetW:   js.BudgetW,
+		Nodes:     nodes,
+		Seed:      js.Seed,
+		Chain:     chainFor(js.Chain),
+		Telemetry: s.reg,
+		Observe: func(i int, name string) machine.Hook {
+			return newProgressHook(j.events, name, s.cfg.ProgressEvery)
+		},
+	})
+	if err != nil {
+		// The coordinator wraps a context abort; report the cause so
+		// the scheduler classifies it as canceled/aborted, not failed.
+		if cerr := ctx.Err(); cerr != nil {
+			return Result{}, nil, cerr
+		}
+		return Result{}, nil, err
+	}
+	out := Result{
+		ID:             j.ID,
+		Workload:       js.Workload,
+		Policy:         "cluster-pm",
+		MakespanSec:    res.Makespan.Seconds(),
+		MachineSeconds: res.MachineSeconds,
+		PeakTotalW:     res.PeakTotalW,
+	}
+	for i, run := range res.Runs {
+		out.Nodes = append(out.Nodes, NodeResult{
+			Name:        res.Names[i],
+			DurationSec: run.Duration.Seconds(),
+			EnergyJ:     run.EnergyJ,
+			AvgPowerW:   run.AvgPowerW(),
+			Transitions: run.Transitions,
+		})
+		out.EnergyJ += run.EnergyJ
+		out.Transitions += run.Transitions
+		out.Ticks += len(run.Rows)
+	}
+	out.DurationSec = res.Makespan.Seconds()
+	return out, nil, nil
+}
+
+// runExperiment computes one registry entry on a fresh experiment
+// context wired to the job's context (Options.Ctx) and event log
+// (Options.Observer), capturing the rendered output as the result.
+func (s *Service) runExperiment(ctx context.Context, j *Job) (Result, *trace.Run, error) {
+	js := j.Spec
+	var entry *experiment.Named
+	for _, e := range experiment.Registry() {
+		if e.Name == js.Experiment {
+			entry = &e
+			break
+		}
+	}
+	if entry == nil {
+		return Result{}, nil, fmt.Errorf("serve: unknown experiment %q", js.Experiment)
+	}
+	c, err := experiment.NewContext(experiment.Options{
+		Seed:      js.Seed,
+		ScaleDown: js.Scale,
+		// One core per job: the service's worker pool is the
+		// parallelism; an experiment fanning out to GOMAXPROCS inside
+		// each worker would oversubscribe the host.
+		Parallelism: 1,
+		Ctx:         ctx,
+		Observer: func(workload, policy string) machine.Hook {
+			return newProgressHook(j.events, workload+"/"+policy, s.cfg.ProgressEvery)
+		},
+	})
+	if err != nil {
+		return Result{}, nil, err
+	}
+	printable, err := entry.Run(c)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Result{}, nil, cerr
+		}
+		return Result{}, nil, err
+	}
+	var buf bytes.Buffer
+	if err := printable.Print(&buf); err != nil {
+		return Result{}, nil, err
+	}
+	return Result{ID: j.ID, Experiment: js.Experiment, Output: buf.String()}, nil, nil
+}

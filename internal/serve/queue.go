@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// Queue-admission errors. The HTTP layer maps ErrQueueFull to
+// 429 Too Many Requests with a Retry-After header (the service's
+// backpressure contract: a full queue rejects immediately — it never
+// buffers unboundedly) and ErrClosed to 503 Service Unavailable.
+var (
+	ErrQueueFull = errors.New("serve: job queue full")
+	ErrClosed    = errors.New("serve: service shutting down")
+)
+
+// jobQueue is a bounded FIFO of pending jobs. push never blocks (a
+// full queue is an immediate error — backpressure belongs to the
+// caller, not to a growing buffer); pop blocks until a job, or until
+// the queue is closed and empty. onDepth, when set, observes every
+// depth change (the telemetry queue-depth gauge).
+type jobQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []*Job
+	depth   int
+	closed  bool
+	onDepth func(n int)
+}
+
+func newJobQueue(depth int, onDepth func(int)) *jobQueue {
+	q := &jobQueue{depth: depth, onDepth: onDepth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends j, failing fast when the queue is full or closed.
+func (q *jobQueue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if len(q.items) >= q.depth {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, j)
+	q.noteDepthLocked()
+	q.cond.Signal()
+	return nil
+}
+
+// pop removes and returns the oldest job, blocking while the queue is
+// open and empty. ok is false once the queue is closed and drained —
+// the workers' exit signal.
+func (q *jobQueue) pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j = q.items[0]
+	q.items = q.items[1:]
+	q.noteDepthLocked()
+	return j, true
+}
+
+// remove deletes the job with the given ID if it is still pending
+// (a queued-job cancellation), preserving FIFO order of the rest.
+func (q *jobQueue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.items {
+		if j.ID == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			q.noteDepthLocked()
+			return true
+		}
+	}
+	return false
+}
+
+// close marks the queue closed and returns every still-pending job
+// (shutdown marks them aborted). Blocked pops wake and return false
+// once the backlog is gone.
+func (q *jobQueue) close() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed && len(q.items) == 0 {
+		return nil
+	}
+	q.closed = true
+	drained := q.items
+	q.items = nil
+	q.noteDepthLocked()
+	q.cond.Broadcast()
+	return drained
+}
+
+// len returns the current backlog size.
+func (q *jobQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func (q *jobQueue) noteDepthLocked() {
+	if q.onDepth != nil {
+		q.onDepth(len(q.items))
+	}
+}

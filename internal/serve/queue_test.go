@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func qjob(id string) *Job { return &Job{ID: id, state: StateQueued} }
+
+func TestQueueFIFOAndFull(t *testing.T) {
+	q := newJobQueue(2, nil)
+	if err := q.push(qjob("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob("c")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push beyond depth: err = %v, want ErrQueueFull", err)
+	}
+	for _, want := range []string{"a", "b"} {
+		j, ok := q.pop()
+		if !ok || j.ID != want {
+			t.Fatalf("pop = %v/%v, want %s", j, ok, want)
+		}
+	}
+	// Drained queue admits again.
+	if err := q.push(qjob("d")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newJobQueue(4, nil)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := q.push(qjob(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !q.remove("b") {
+		t.Fatal("remove of a pending job failed")
+	}
+	if q.remove("b") {
+		t.Fatal("second remove of the same job succeeded")
+	}
+	for _, want := range []string{"a", "c"} {
+		j, ok := q.pop()
+		if !ok || j.ID != want {
+			t.Fatalf("pop after remove = %v/%v, want %s", j, ok, want)
+		}
+	}
+}
+
+func TestQueueCloseWakesBlockedPop(t *testing.T) {
+	q := newJobQueue(2, nil)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond) // let the pop block
+	if backlog := q.close(); len(backlog) != 0 {
+		t.Errorf("backlog = %d, want 0", len(backlog))
+	}
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("pop on a closed empty queue reported a job")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop never woke after close")
+	}
+	if err := q.push(qjob("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("push after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestQueueCloseReturnsBacklog(t *testing.T) {
+	q := newJobQueue(4, nil)
+	for _, id := range []string{"a", "b"} {
+		if err := q.push(qjob(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backlog := q.close()
+	if len(backlog) != 2 || backlog[0].ID != "a" || backlog[1].ID != "b" {
+		t.Errorf("backlog = %v", backlog)
+	}
+	if _, ok := q.pop(); ok {
+		t.Error("pop after close returned a job")
+	}
+}
+
+func TestQueueDepthCallback(t *testing.T) {
+	var depths []int
+	q := newJobQueue(3, func(n int) { depths = append(depths, n) })
+	_ = q.push(qjob("a"))
+	_ = q.push(qjob("b"))
+	q.pop()
+	q.remove("b")
+	want := []int{1, 2, 1, 0}
+	if len(depths) != len(want) {
+		t.Fatalf("depths = %v, want %v", depths, want)
+	}
+	for i := range want {
+		if depths[i] != want[i] {
+			t.Fatalf("depths = %v, want %v", depths, want)
+		}
+	}
+}

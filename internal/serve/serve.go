@@ -1,0 +1,396 @@
+// Package serve is the asynchronous run service: simulation jobs
+// arrive over HTTP, wait in a bounded FIFO queue, and execute on a
+// fixed worker pool, each under its own context with a deadline. The
+// service is the scaling layer the ROADMAP's "heavy traffic" goal
+// asks for — callers submit and poll (or stream progress) instead of
+// holding a connection per simulation.
+//
+// Core pieces:
+//
+//   - Job model (job.go): a content-addressed JobSpec whose
+//     deterministic ID doubles as the result-cache key, with a small
+//     explicit lifecycle state machine.
+//   - Backpressure (queue.go): a bounded FIFO; a full queue rejects
+//     submissions immediately (HTTP 429 + Retry-After) rather than
+//     buffering unboundedly.
+//   - Scheduler (this file): min(GOMAXPROCS, Config.Workers) workers
+//     drain the queue, reusing the machine/cluster/experiment entry
+//     points (exec.go) under a per-job context.Context with a
+//     deadline.
+//   - Result cache: completed jobs keep their marshaled result, so a
+//     resubmission of the same canonical spec is served from memory,
+//     byte-identical, with an idempotency hit counter.
+//   - Streaming progress (events.go): per-job NDJSON event streams
+//     fed by the engine's machine.Hook bus.
+//   - Telemetry (telemetry.go): queue depth, jobs by state, per-job
+//     wall histogram, cache hit/miss and rejection counters on the
+//     shared registry.
+//
+// Simulation results through the serve path are byte-identical to
+// direct runs — every serve-side consumer is a Hook-bus observer, and
+// the golden-trace-through-serve test pins it.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aapm/internal/telemetry"
+)
+
+// ErrUnknownJob reports a job ID the service has never seen.
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// Config describes a run service.
+type Config struct {
+	// QueueDepth bounds the pending-job FIFO; submissions beyond it
+	// are rejected with ErrQueueFull. 0 selects 64.
+	QueueDepth int
+	// Workers caps the execution pool: the service runs
+	// min(GOMAXPROCS, Workers) workers. 0 selects 4.
+	Workers int
+	// JobTimeout is each job's execution deadline (host wall-clock).
+	// 0 selects 2 minutes — generous for virtual-time simulation.
+	JobTimeout time.Duration
+	// ProgressEvery samples every Nth interval into the job's event
+	// stream. 0 selects 25 (4 events per simulated second).
+	ProgressEvery int
+	// EventBuffer is the per-job progress ring capacity (history
+	// replayed to late stream subscribers). 0 selects 256.
+	EventBuffer int
+	// Telemetry receives the service metrics (and each run's observer
+	// series); nil allocates a registry private to this service.
+	Telemetry *telemetry.Registry
+
+	// beforeRun, when non-nil, runs in the worker goroutine after a
+	// job turns running and before it executes — a seam for tests in
+	// this package to hold workers at a known point. Unexported on
+	// purpose: not part of the service's contract.
+	beforeRun func(*Job)
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if max := runtime.GOMAXPROCS(0); c.Workers > max {
+		c.Workers = max
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 25
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
+	return c
+}
+
+// Service accepts, queues, executes and caches simulation jobs. Safe
+// for concurrent use.
+type Service struct {
+	cfg Config
+	reg *telemetry.Registry
+	tel *serveTelemetry
+	q   *jobQueue
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order, for listings
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New starts a run service: its workers are live and draining until
+// Shutdown.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	tel := newServeTelemetry(reg)
+	s := &Service{
+		cfg:  cfg,
+		reg:  reg,
+		tel:  tel,
+		jobs: make(map[string]*Job),
+	}
+	s.q = newJobQueue(cfg.QueueDepth, func(n int) { tel.queueDepth.Set(float64(n)) })
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry returns the telemetry registry the service feeds.
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// Workers returns the execution pool size.
+func (s *Service) Workers() int { return s.cfg.Workers }
+
+// QueueLen returns the current backlog size.
+func (s *Service) QueueLen() int { return s.q.len() }
+
+// Submit validates and enqueues a job. created reports whether the
+// submission put (or re-put) a job on the queue: false means an
+// existing job with the same canonical spec absorbed the submission —
+// the idempotency/cache path, counted on the job and in telemetry.
+// Terminal-but-unsuccessful jobs (failed, canceled, aborted) are
+// re-enqueued by a fresh submission of the same spec.
+func (s *Service) Submit(js JobSpec) (j *Job, created bool, err error) {
+	if s.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	norm := js.Normalize()
+	if err := norm.Validate(); err != nil {
+		return nil, false, err
+	}
+	id := norm.ID()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		j.mu.Lock()
+		if j.state.Terminal() && j.state != StateDone {
+			// The previous attempt went nowhere; run it again.
+			if err := s.q.push(j); err != nil {
+				j.mu.Unlock()
+				if errors.Is(err, ErrQueueFull) {
+					s.tel.rejected.Inc()
+				}
+				return nil, false, err
+			}
+			from := j.state
+			j.state = StateQueued
+			j.err = ""
+			j.cancelled = false
+			j.result = nil
+			j.run = nil
+			j.wall = 0
+			j.events = newEventLog(s.cfg.EventBuffer)
+			j.events.publish(marshalEvent(progressEvent{Type: "state", State: StateQueued}))
+			j.mu.Unlock()
+			s.tel.transition(from, StateQueued)
+			return j, true, nil
+		}
+		// Queued, running or done: the existing job satisfies this
+		// submission (for done, straight from the result cache).
+		j.hits++
+		j.mu.Unlock()
+		s.tel.cacheHits.Inc()
+		return j, false, nil
+	}
+
+	j = &Job{ID: id, Spec: norm, state: StateQueued, events: newEventLog(s.cfg.EventBuffer)}
+	if err := s.q.push(j); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.tel.rejected.Inc()
+		}
+		return nil, false, err
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.tel.cacheMiss.Inc()
+	s.tel.transition("", StateQueued)
+	j.events.publish(marshalEvent(progressEvent{Type: "state", State: StateQueued}))
+	return j, true, nil
+}
+
+// Get returns a job by ID.
+func (s *Service) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns every job's status in submission order.
+func (s *Service) List() []Status {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job leaves the queue and turns
+// canceled immediately; a running job's context is canceled and the
+// job turns canceled once its worker observes it (poll the status).
+// Terminal jobs are left as they are; the returned state is the
+// job's state as of the call.
+func (s *Service) Cancel(id string) (State, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return "", ErrUnknownJob
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		// Best-effort queue removal; if a worker popped the job but
+		// has not started it, the state check in runJob skips it.
+		s.q.remove(id)
+		j.state = StateCanceled
+		j.err = "canceled before start"
+		j.cancelled = true
+		j.events.publish(marshalEvent(progressEvent{Type: "state", State: StateCanceled, Detail: j.err}))
+		ev := j.events
+		j.mu.Unlock()
+		ev.close()
+		s.tel.transition(StateQueued, StateCanceled)
+		return StateCanceled, nil
+	case StateRunning:
+		j.cancelled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+		return StateRunning, nil
+	default:
+		st := j.state
+		j.mu.Unlock()
+		return st, nil
+	}
+}
+
+// worker drains the queue until the service shuts down.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job under a fresh context with the
+// configured deadline and resolves its terminal state.
+func (s *Service) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled between pop and start.
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	defer cancel()
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	j.events.publish(marshalEvent(progressEvent{Type: "state", State: StateRunning}))
+	j.mu.Unlock()
+	s.tel.transition(StateQueued, StateRunning)
+	if s.cfg.beforeRun != nil {
+		s.cfg.beforeRun(j)
+	}
+
+	res, run, err := s.execute(ctx, j)
+	wall := time.Since(j.started)
+	s.tel.jobWall.Observe(wall.Seconds())
+
+	to, detail := StateDone, ""
+	if err != nil {
+		j.mu.Lock()
+		cancelled := j.cancelled
+		j.mu.Unlock()
+		switch {
+		case s.baseCtx.Err() != nil:
+			to, detail = StateAborted, "service shut down mid-run"
+		case cancelled:
+			to, detail = StateCanceled, "canceled mid-run"
+		case errors.Is(err, context.DeadlineExceeded):
+			to, detail = StateFailed, fmt.Sprintf("deadline exceeded (%s)", s.cfg.JobTimeout)
+		default:
+			to, detail = StateFailed, err.Error()
+		}
+	}
+
+	j.mu.Lock()
+	j.wall = wall
+	j.state = to
+	j.err = detail
+	if err == nil {
+		b, merr := json.Marshal(res)
+		if merr != nil {
+			// A Result holds only scalars and strings; Marshal cannot
+			// fail — but never store a half-built cache entry.
+			j.state, j.err = StateFailed, merr.Error()
+			to = StateFailed
+		} else {
+			j.result = b
+			j.run = run
+		}
+	}
+	j.events.publish(marshalEvent(progressEvent{Type: "state", State: to, Detail: detail}))
+	ev := j.events
+	j.mu.Unlock()
+	ev.close()
+	s.tel.transition(StateRunning, to)
+}
+
+// Shutdown gracefully stops the service: intake closes (submissions
+// get ErrClosed), still-queued jobs turn aborted without running, and
+// running jobs drain. If ctx expires before the drain completes, the
+// running jobs' contexts are canceled and Shutdown waits for the
+// workers to observe it, returning ctx's error.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.closed.Store(true)
+	for _, j := range s.q.close() {
+		j.mu.Lock()
+		if j.state != StateQueued {
+			j.mu.Unlock()
+			continue
+		}
+		j.state = StateAborted
+		j.err = "service shut down before the job started"
+		j.events.publish(marshalEvent(progressEvent{Type: "state", State: StateAborted, Detail: j.err}))
+		ev := j.events
+		j.mu.Unlock()
+		ev.close()
+		s.tel.transition(StateQueued, StateAborted)
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.baseCancel()
+		<-drained
+		err = ctx.Err()
+	}
+	s.baseCancel()
+	return err
+}

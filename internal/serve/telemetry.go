@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"sync"
+
+	"aapm/internal/telemetry"
+)
+
+// Serve-layer metric family names.
+const (
+	MetricQueueDepth = "aapm_serve_queue_depth"
+	MetricJobs       = "aapm_serve_jobs"
+	MetricJobWall    = "aapm_serve_job_wall_seconds"
+	MetricCacheHits  = "aapm_serve_cache_hits_total"
+	MetricCacheMiss  = "aapm_serve_cache_misses_total"
+	MetricRejected   = "aapm_serve_jobs_rejected_total"
+)
+
+// jobWallBuckets spans sub-millisecond cache-priming runs to the
+// multi-second cluster co-simulations.
+var jobWallBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// serveTelemetry owns the run service's metric families: queue depth,
+// a jobs-by-state gauge set, the per-job wall-clock histogram, and
+// the cache-hit/miss and rejected-submission counters. All updates go
+// through here so the by-state gauges stay consistent with the job
+// state machine.
+type serveTelemetry struct {
+	queueDepth *telemetry.Series
+	jobWall    *telemetry.Series
+	cacheHits  *telemetry.Series
+	cacheMiss  *telemetry.Series
+	rejected   *telemetry.Series
+
+	mu     sync.Mutex
+	byName map[State]*telemetry.Series
+	counts map[State]int
+	jobs   *telemetry.Family
+}
+
+func newServeTelemetry(reg *telemetry.Registry) *serveTelemetry {
+	t := &serveTelemetry{
+		queueDepth: reg.Gauge(MetricQueueDepth, "Jobs waiting in the bounded FIFO queue.").With(),
+		jobWall:    reg.Histogram(MetricJobWall, "Wall-clock from job start to terminal state (seconds).", jobWallBuckets).With(),
+		cacheHits:  reg.Counter(MetricCacheHits, "Submissions served by an existing job (same canonical spec).").With(),
+		cacheMiss:  reg.Counter(MetricCacheMiss, "Submissions that enqueued a new job.").With(),
+		rejected:   reg.Counter(MetricRejected, "Submissions rejected by backpressure (queue full).").With(),
+		jobs:       reg.Gauge(MetricJobs, "Jobs currently in each lifecycle state.", "state"),
+		byName:     make(map[State]*telemetry.Series),
+		counts:     make(map[State]int),
+	}
+	// Pre-create every state's series so a scrape shows the full state
+	// space at zero instead of series popping into existence.
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateAborted} {
+		t.byName[s] = t.jobs.With(string(s))
+		t.byName[s].Set(0)
+	}
+	return t
+}
+
+// transition moves one job between states in the by-state gauges;
+// from "" counts a brand-new job.
+func (t *serveTelemetry) transition(from, to State) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from != "" {
+		t.counts[from]--
+		t.byName[from].Set(float64(t.counts[from]))
+	}
+	t.counts[to]++
+	t.byName[to].Set(float64(t.counts[to]))
+}
