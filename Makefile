@@ -24,6 +24,7 @@ fuzz-short:
 	go test ./internal/faults -fuzz FuzzFaultPlan -fuzztime $(FUZZTIME)
 	go test ./internal/trace -fuzz FuzzReadCSV -fuzztime $(FUZZTIME)
 	go test ./internal/phase -fuzz FuzzParseWorkloadJSON -fuzztime $(FUZZTIME)
+	go test ./internal/kernel -fuzz FuzzBatchStep -fuzztime $(FUZZTIME)
 
 # Refresh the golden trace fixtures after an intentional trace change.
 # Also covers the Prometheus exposition fixture in internal/telemetry.
@@ -71,6 +72,21 @@ serve-smoke:
 .PHONY: serve-bench
 serve-bench:
 	go test -run '^$$' -bench BenchmarkServeSubmitLatency -benchtime 2s ./internal/serve/
+
+# Batch tick kernel throughput versus the staged reference paths; the
+# committed BENCH_tick.json tracks the trajectory. Append a datapoint
+# with `go run ./cmd/aapm-tickbench -json`.
+.PHONY: tick-bench
+tick-bench:
+	go run ./cmd/aapm-tickbench -count 3
+
+# Allocation gate + batch differential, exactly as CI runs them: the
+# specialized bodies must stay at zero heap allocations per tick and
+# byte-identical to the staged engine.
+.PHONY: tick-gate
+tick-gate:
+	go test -run 'TestBatchTickAllocs|TestBatchMatchesStaged' ./internal/kernel/
+	go test -run '^$$' -bench BenchmarkBatchTick -benchtime 1000x -benchmem .
 
 .PHONY: all
 all: vet test race

@@ -28,6 +28,7 @@ import (
 	"aapm/internal/cluster"
 	"aapm/internal/control"
 	"aapm/internal/faults"
+	"aapm/internal/kernel"
 	"aapm/internal/machine"
 	"aapm/internal/metrics"
 	"aapm/internal/mixes"
@@ -218,6 +219,49 @@ type ClusterResult = cluster.Result
 // RunCluster co-simulates several machines under one power budget; see
 // internal/cluster for the coordinator's water-filling policy.
 func RunCluster(cfg ClusterConfig) (*ClusterResult, error) { return cluster.Run(cfg) }
+
+// BatchNode binds one node's platform, workload and governor for a
+// batch-kernel run. The governor must be a fresh instance, exactly as
+// with Platform.Run.
+type BatchNode = kernel.BatchNode
+
+// BatchOptions configures a batch-kernel run (trace retention,
+// observer hooks).
+type BatchOptions = kernel.BatchOptions
+
+// BatchState is the batch tick kernel: contiguous per-node tick state
+// stepped by per-run specialized loop bodies with zero heap
+// allocations per tick. It is the simulator's throughput path — the
+// staged Session remains the reference implementation, and every
+// batch run is byte-identical to it (same trace rows, same energy
+// integrals, same transition and degradation logs). Step it with
+// StepNode/StepAll/Run and read results with Result; see
+// internal/kernel and the "Batch kernel" section of DESIGN.md.
+type BatchState = kernel.BatchState
+
+// NewBatch builds a batch kernel over the given nodes, initialized
+// exactly as staged sessions would be.
+func NewBatch(nodes []BatchNode, opts BatchOptions) (*BatchState, error) {
+	return kernel.NewBatch(nodes, opts)
+}
+
+// RunBatch steps every node of a batch to completion on the batch
+// kernel and returns the per-node runs in node order. It is the
+// high-throughput equivalent of calling Platform.Run per node.
+func RunBatch(nodes []BatchNode, opts BatchOptions) ([]*Run, error) {
+	b, err := kernel.NewBatch(nodes, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+	runs := make([]*Run, b.Len())
+	for i := range runs {
+		runs[i] = b.Result(i)
+	}
+	return runs, nil
+}
 
 // FaultPlan composes sensor, counter and actuator fault injection for
 // a platform; pass its address in PlatformConfig.Faults. Faults

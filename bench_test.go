@@ -503,6 +503,59 @@ func BenchmarkTelemetryOn(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchTick measures the batch kernel's cost per node-tick on
+// its specialized PM path: the cluster benchmark's eight-node mix (NI
+// chain, per-node PM at the same 13 W share) stepped as one BatchState
+// with trace retention off — the telemetry-off, faults-off hot path
+// the zero-allocation gate (TestBatchTickAllocs) pins. Compare ns/op
+// here against BenchmarkClusterTick's ns/step divided by its node
+// count; `make tick-bench` records the ratio in BENCH_tick.json.
+func BenchmarkBatchTick(b *testing.B) {
+	names := []string{"swim", "mcf", "lucas", "crafty", "gzip", "gcc", "art", "ammp"}
+	build := func() *kernel.BatchState {
+		nodes := make([]kernel.BatchNode, len(names))
+		for i, name := range names {
+			w, err := spec.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Full-length workloads so per-build setup (RNG seeding,
+			// behaviour caches) amortizes over tens of thousands of
+			// ticks, as it does in a real experiment run.
+			w.Iterations = w.Repeats()
+			m, err := machine.New(machine.Config{Chain: sensor.NIDefault(), Seed: 7 + int64(i)*7919})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pm, err := control.NewPerformanceMaximizer(control.PMConfig{LimitW: 13, FeedbackGain: 0.25})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes[i] = kernel.BatchNode{Machine: m, Workload: w, Governor: pm}
+		}
+		bs, err := kernel.NewBatch(nodes, kernel.BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bs.Kind() != "pm" {
+			b.Fatalf("expected the pm fast path, got %q", bs.Kind())
+		}
+		return bs
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	ticks := 0
+	for ticks < b.N {
+		bs := build()
+		if err := bs.Run(); err != nil {
+			b.Fatal(err)
+		}
+		for i := range names {
+			ticks += bs.Ticks(i)
+		}
+	}
+}
+
 // BenchmarkCacheAccess measures the cache model's lookup cost.
 func BenchmarkCacheAccess(b *testing.B) {
 	g := mloops.NewGenerator(mloops.DAXPY, mloops.FootprintL2)

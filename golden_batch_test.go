@@ -1,0 +1,109 @@
+package aapm
+
+// Golden-trace acceptance for the batch tick kernel at the facade
+// level: the same pinned fixtures the staged engine is checked
+// against, re-run through NewBatch/RunBatch. The kernel's specialized
+// bodies and its generic (hook-carrying) body must both reproduce the
+// staged traces byte-for-byte — the fixtures stay owned by the staged
+// tests (TestGoldenPMTrace), so -update runs skip these.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// goldenBatchRun executes the canonical fixture configuration (one
+// iteration of ammp, NI chain, seed 1) through the batch kernel.
+func goldenBatchRun(t *testing.T, gov Governor, opts BatchOptions) (*Run, *BatchState) {
+	t.Helper()
+	w, err := Workload("ammp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Iterations = 1
+	m, err := NewPlatform(PlatformConfig{Chain: NIChain(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.RetainTraces = true
+	b, err := NewBatch([]BatchNode{{Machine: m, Workload: w, Governor: gov}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Result(0), b
+}
+
+func TestGoldenPMTraceBatch(t *testing.T) {
+	if *update {
+		t.Skip("fixture owned by TestGoldenPMTrace")
+	}
+	pm, err := NewPerformanceMaximizer(PMConfig{LimitW: 14.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, b := goldenBatchRun(t, pm, BatchOptions{})
+	if b.Kind() != "pm" {
+		t.Fatalf("golden PM run selected step body %q, want the specialized pm body", b.Kind())
+	}
+	checkGolden(t, "golden_pm_ammp.csv", run)
+}
+
+func TestGoldenPSTraceBatch(t *testing.T) {
+	if *update {
+		t.Skip("fixture owned by TestGoldenPSTrace")
+	}
+	ps, err := NewPowerSave(PSConfig{Floor: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, b := goldenBatchRun(t, ps, BatchOptions{})
+	if b.Kind() != "psave" {
+		t.Fatalf("golden PS run selected step body %q, want the specialized psave body", b.Kind())
+	}
+	checkGolden(t, "golden_ps_ammp.csv", run)
+}
+
+// TestGoldenTraceWithTelemetryBatch is the batch analogue of
+// TestGoldenTraceWithTelemetry: observer hooks demote the batch to its
+// generic body, which must still replicate the staged event order —
+// same fixture bytes, exporters fully fed.
+func TestGoldenTraceWithTelemetryBatch(t *testing.T) {
+	if *update {
+		t.Skip("fixture owned by TestGoldenPMTrace")
+	}
+	pm, err := NewPerformanceMaximizer(PMConfig{LimitW: 14.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewTelemetryRegistry()
+	tw := NewTraceEventWriter(io.Discard)
+	run, b := goldenBatchRun(t, pm, BatchOptions{
+		Hooks: func(int) []Hook {
+			return []Hook{
+				NewTelemetryObserver(reg, "golden", "pm"),
+				tw.RunHook("golden", "pm"),
+			}
+		},
+	})
+	if b.Kind() != "generic" {
+		t.Fatalf("hook-carrying run selected step body %q, want generic", b.Kind())
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Events() == 0 {
+		t.Fatal("trace exporter saw no events; test is vacuous")
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("registry empty after observed run; test is vacuous")
+	}
+	checkGolden(t, "golden_pm_ammp.csv", run)
+}

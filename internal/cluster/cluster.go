@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"aapm/internal/control"
+	"aapm/internal/kernel"
 	"aapm/internal/machine"
 	"aapm/internal/metrics"
 	"aapm/internal/phase"
@@ -69,6 +70,15 @@ type Config struct {
 	// in the coordinator goroutine (the serial reference). The traces
 	// are identical for every value.
 	Workers int
+	// Engine selects the per-node stepping backend: "batch" (the
+	// default) steps all nodes through one kernel.BatchState — the
+	// zero-allocation fast path when the run needs no hooks, the
+	// generic batch body when telemetry or observers are attached —
+	// while "staged" drives one machine.Session per node, the
+	// reference implementation. Traces are byte-identical between the
+	// two (the kernel's differential suite pins this); "staged" exists
+	// for cross-checks and honest baseline benchmarks.
+	Engine string
 	// Telemetry, when non-nil, receives the coordinator's live
 	// metrics: one aapm_* series set per node (via telemetry.Observer
 	// on each session's Hook bus), per-worker shard wall-clock
@@ -164,9 +174,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	share := cfg.BudgetW / float64(n)
-	sessions := make([]*machine.Session, n)
+	machines := make([]*machine.Machine, n)
 	pms := make([]*control.PerformanceMaximizer, n)
-	taps := make([]*nodeTap, n)
 	names := make([]string, n)
 	var table *pstate.Table
 	for i, node := range cfg.Nodes {
@@ -190,30 +199,68 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := m.NewSession(node.Workload, pm)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: node %s: %w", name, err)
-		}
-		taps[i] = &nodeTap{}
-		s.Subscribe(taps[i])
+		machines[i] = m
+		pms[i] = pm
+	}
+	// hookRow assembles node i's observer hooks in the staged
+	// subscription order (telemetry, then Observe); nil when none.
+	hookRow := func(i int) []machine.Hook {
+		var hs []machine.Hook
 		if cfg.Telemetry != nil {
-			s.Subscribe(telemetry.NewObserver(cfg.Telemetry, name, "pm"))
+			hs = append(hs, telemetry.NewObserver(cfg.Telemetry, names[i], "pm"))
 		}
 		if cfg.Observe != nil {
-			if h := cfg.Observe(i, name); h != nil {
-				s.Subscribe(h)
+			if h := cfg.Observe(i, names[i]); h != nil {
+				hs = append(hs, h)
 			}
 		}
-		sessions[i] = s
-		pms[i] = pm
+		return hs
+	}
+	var eng engine
+	switch cfg.Engine {
+	case "", "batch":
+		bnodes := make([]kernel.BatchNode, n)
+		for i, node := range cfg.Nodes {
+			bnodes[i] = kernel.BatchNode{Machine: machines[i], Workload: node.Workload, Governor: pms[i]}
+		}
+		opts := kernel.BatchOptions{RetainTraces: true}
+		if cfg.Telemetry != nil || cfg.Observe != nil {
+			opts.Hooks = hookRow
+		}
+		bs, err := kernel.NewBatch(bnodes, opts)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		eng = &batchEngine{b: bs}
+	case "staged":
+		se := &sessionEngine{
+			sessions: make([]*machine.Session, n),
+			taps:     make([]*nodeTap, n),
+			errs:     make([]error, n),
+		}
+		for i, node := range cfg.Nodes {
+			s, err := machines[i].NewSession(node.Workload, pms[i])
+			if err != nil {
+				return nil, fmt.Errorf("cluster: node %s: %w", names[i], err)
+			}
+			se.taps[i] = &nodeTap{}
+			s.Subscribe(se.taps[i])
+			for _, h := range hookRow(i) {
+				s.Subscribe(h)
+			}
+			se.sessions[i] = s
+		}
+		eng = se
+	default:
+		return nil, fmt.Errorf("cluster: unknown engine %q", cfg.Engine)
 	}
 
 	st := &stepper{
-		workers:  workers,
-		sessions: sessions,
-		stepped:  make([]bool, n),
-		errs:     make([]error, n),
-		wall:     make([]metrics.WallClock, workers),
+		workers: workers,
+		n:       n,
+		step:    eng.step,
+		stepped: make([]bool, n),
+		wall:    make([]metrics.WallClock, workers),
 	}
 	var ct *clusterTelemetry
 	if cfg.Telemetry != nil {
@@ -260,30 +307,30 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		// node-index order on the coordinator goroutine, so the
 		// aggregate state is identical for every worker count. The
 		// first error by node index wins, deterministically.
-		for i, err := range st.errs {
-			if err != nil {
+		for i := 0; i < n; i++ {
+			if err := eng.err(i); err != nil {
 				return nil, fmt.Errorf("cluster: node %s: %w", names[i], err)
 			}
 		}
 		anyActive := false
 		allActive := true
 		var totalW float64
-		for i := range sessions {
+		for i := 0; i < n; i++ {
 			if !st.stepped[i] {
 				allActive = false
 				continue
 			}
 			anyActive = true
-			// Only a tap refreshed by this tick contributes; a session
+			// Only a node refreshed by this tick contributes; a node
 			// that stepped into completion without emitting an interval
 			// would otherwise replay its previous tick's power.
-			if taps[i].seq == lastSeq[i] {
+			if eng.seq(i) == lastSeq[i] {
 				continue
 			}
-			lastSeq[i] = taps[i].seq
+			lastSeq[i] = eng.seq(i)
 			epochFresh[i] = true
-			w := taps[i].last.MeasuredPowerW
-			dpc := taps[i].last.Observed.DPC()
+			w := eng.lastPowerW(i)
+			dpc := eng.lastDPC(i)
 			if !usable(w) || !usable(dpc) {
 				continue
 			}
@@ -317,7 +364,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if !cfg.Static && tick > 0 && tick%epoch == 0 {
 			for i := range demands {
 				d := &demands[i]
-				*d = demand{active: !sessions[i].Done()}
+				*d = demand{active: !eng.done(i)}
 				if !d.active {
 					continue
 				}
@@ -328,17 +375,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					d.useDPC = true
 					d.dpc = recentDPC[i] / float64(recentN[i])
 					d.avgW = recentW[i] / float64(recentN[i])
-				case !epochFresh[i] && taps[i].ok:
+				case !epochFresh[i] && eng.seq(i) > 0:
 					// The tap was last written in an earlier epoch: the
 					// node has effectively gone dark (e.g. degraded
 					// offline mid-epoch). Hold its previous share rather
 					// than reallocating on stale data.
 					d.hold = true
-				case taps[i].ok && usable(taps[i].last.Observed.DPC()):
+				case eng.seq(i) > 0 && usable(eng.lastDPC(i)):
 					// Fresh tap but no full-epoch average (e.g. power
 					// readings dropped all epoch): fall back to the tap.
 					d.useDPC = true
-					d.dpc = taps[i].last.Observed.DPC()
+					d.dpc = eng.lastDPC(i)
 				}
 			}
 			reallocate(cfg.BudgetW, floor, table, demands, pms, limits)
@@ -360,8 +407,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		res.TickWall.Merge(st.wall[k])
 	}
 
-	for _, s := range sessions {
-		run := s.Result()
+	for i := 0; i < n; i++ {
+		run := eng.result(i)
 		res.Runs = append(res.Runs, run)
 		res.MachineSeconds += run.Duration.Seconds()
 		if run.Duration > res.Makespan {
@@ -396,6 +443,64 @@ type nodeTap struct {
 
 // OnTick implements machine.Hook.
 func (t *nodeTap) OnTick(ts machine.TickState) { t.last, t.ok = ts, true; t.seq++ }
+
+// engine abstracts the per-node stepping backend the coordinator
+// drives. Both implementations expose the same post-barrier view:
+// step advances an active node and reports whether it was stepped;
+// seq counts emitted intervals so the coordinator can spot nodes that
+// stepped without emitting (stale observations); lastPowerW/lastDPC
+// are the most recent interval's governor-visible observations.
+type engine interface {
+	step(i int) bool
+	err(i int) error
+	done(i int) bool
+	seq(i int) uint64
+	lastPowerW(i int) float64
+	lastDPC(i int) float64
+	result(i int) *trace.Run
+}
+
+// sessionEngine is the staged reference backend: one machine.Session
+// per node, observed through a nodeTap on each session's hook bus.
+type sessionEngine struct {
+	sessions []*machine.Session
+	taps     []*nodeTap
+	errs     []error
+}
+
+func (e *sessionEngine) step(i int) bool {
+	s := e.sessions[i]
+	if s.Done() || e.errs[i] != nil {
+		return false
+	}
+	if _, err := s.Step(); err != nil {
+		e.errs[i] = err
+	}
+	return true
+}
+func (e *sessionEngine) err(i int) error          { return e.errs[i] }
+func (e *sessionEngine) done(i int) bool          { return e.sessions[i].Done() }
+func (e *sessionEngine) seq(i int) uint64         { return e.taps[i].seq }
+func (e *sessionEngine) lastPowerW(i int) float64 { return e.taps[i].last.MeasuredPowerW }
+func (e *sessionEngine) lastDPC(i int) float64    { return e.taps[i].last.Observed.DPC() }
+func (e *sessionEngine) result(i int) *trace.Run  { return e.sessions[i].Result() }
+
+// batchEngine is the kernel fast path: all nodes live in one
+// BatchState whose lanes the pool's shards step concurrently over
+// disjoint index ranges. The coordinator's observations come from the
+// kernel's per-node accessors instead of a hook tap, which keeps the
+// specialized (hook-free) step bodies eligible.
+type batchEngine struct {
+	b *kernel.BatchState
+}
+
+func (e *batchEngine) step(i int) bool          { return e.b.StepNode(i) }
+func (e *batchEngine) err(i int) error          { return e.b.NodeErr(i) }
+func (e *batchEngine) done(i int) bool          { return e.b.NodeDone(i) }
+func (e *batchEngine) seq(i int) uint64         { return e.b.Seq(i) }
+func (e *batchEngine) lastPowerW(i int) float64 { return e.b.LastPowerW(i) }
+func (e *batchEngine) lastDPC(i int) float64    { return e.b.LastDPC(i) }
+func (e *batchEngine) result(i int) *trace.Run  { return e.b.Result(i) }
 
 // demand is one node's reallocation input, assembled post-barrier by
 // the coordinator from the epoch accumulators and the node's tap.

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"aapm/internal/sensor"
+)
+
+// TestEngineMatchesStaged is the cluster-level differential gate: a
+// shared-budget run stepped through the batch kernel (the default
+// engine) must produce byte-for-byte the traces and identical
+// aggregates of the staged-session reference, serially and across the
+// worker pool.
+func TestEngineMatchesStaged(t *testing.T) {
+	base := Config{
+		BudgetW: 104,
+		Seed:    11,
+		Chain:   sensor.NIDefault(),
+	}
+	ref := base
+	ref.Nodes = eightNodes(t)
+	ref.Engine = "staged"
+	ref.Workers = 1
+	want, err := Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := tracesCSV(t, want)
+
+	for _, tc := range []struct {
+		name    string
+		engine  string
+		workers int
+	}{
+		{"batch-serial", "batch", 1},
+		{"default-serial", "", 1},
+		{"batch-pool", "batch", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Nodes = eightNodes(t)
+			cfg.Engine = tc.engine
+			cfg.Workers = tc.workers
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if csv := tracesCSV(t, got); !bytes.Equal(csv, wantCSV) {
+				t.Fatalf("engine %q (workers=%d) diverged from the staged traces", tc.engine, tc.workers)
+			}
+			if got.MachineSeconds != want.MachineSeconds || got.Makespan != want.Makespan {
+				t.Errorf("completion aggregates diverged: %.6f/%v vs %.6f/%v",
+					got.MachineSeconds, got.Makespan, want.MachineSeconds, want.Makespan)
+			}
+			if got.PeakTotalW != want.PeakTotalW || got.OverFrac != want.OverFrac ||
+				got.ContendedOverFrac != want.ContendedOverFrac ||
+				got.ContendedIntervals != want.ContendedIntervals {
+				t.Errorf("budget aggregates diverged")
+			}
+			for i := range want.Runs {
+				if !reflect.DeepEqual(got.Runs[i].Degradations, want.Runs[i].Degradations) {
+					t.Errorf("node %s degradation log diverged", want.Names[i])
+				}
+			}
+		})
+	}
+}
+
+// TestEngineUnknownRejected pins the Engine field's validation.
+func TestEngineUnknownRejected(t *testing.T) {
+	cfg := Config{BudgetW: 30, Nodes: nodes(t, "gzip", "crafty"), Chain: sensor.NIDefault(), Engine: "vectorized"}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

@@ -5,25 +5,29 @@ import (
 	"sync/atomic"
 	"time"
 
-	"aapm/internal/machine"
 	"aapm/internal/metrics"
 	"aapm/internal/telemetry"
 )
 
-// stepper owns the per-tick stepping work. Sessions are statically
+// stepper owns the per-tick stepping work. Nodes are statically
 // sharded: worker k steps nodes k, k+workers, k+2*workers, … so a
 // node is stepped by the same goroutine for the whole run and no two
-// workers ever touch the same session, tap, stepped flag or error
-// slot. The coordinator reads stepped/errs (and the taps) only after
-// the tick barrier.
+// workers ever touch the same node state, stepped flag or error slot
+// — with the staged engine each node is its own session; with the
+// batch engine the shards step disjoint index ranges of one
+// BatchState, which the kernel's concurrency contract permits. The
+// coordinator reads stepped/errs (via the engine) only after the tick
+// barrier.
 type stepper struct {
-	workers  int
-	sessions []*machine.Session
+	workers int
+	n       int
+	// step advances node i by one interval if it is still active,
+	// reporting whether it was stepped. Provided by the engine.
+	step func(i int) bool
 	// stepped[i] records that node i was active at tick start and was
-	// stepped this tick; errs[i] holds node i's first step error.
-	// Entry i is written only by the worker owning shard i%workers.
+	// stepped this tick. Entry i is written only by the worker owning
+	// shard i%workers.
 	stepped []bool
-	errs    []error
 	// wall[k] aggregates worker k's per-tick shard wall-clock (ticks
 	// where the shard had at least one active node). Each entry is
 	// written only by its owning worker; the coordinator merges them
@@ -39,15 +43,10 @@ type stepper struct {
 func (st *stepper) shard(k int) {
 	start := time.Now()
 	any := false
-	for i := k; i < len(st.sessions); i += st.workers {
-		s := st.sessions[i]
-		if s.Done() || st.errs[i] != nil {
-			continue
-		}
-		any = true
-		st.stepped[i] = true
-		if _, err := s.Step(); err != nil {
-			st.errs[i] = err
+	for i := k; i < st.n; i += st.workers {
+		if st.step(i) {
+			any = true
+			st.stepped[i] = true
 		}
 	}
 	if any {

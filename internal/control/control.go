@@ -199,6 +199,13 @@ func (pm *PerformanceMaximizer) Limit() float64 { return pm.limitW }
 // the guardband widens by cfg.DegradeGuardbandW and the feedback
 // correction freezes at its last good value.
 func (pm *PerformanceMaximizer) Tick(info machine.TickInfo) int {
+	return pm.TickP(&info)
+}
+
+// TickP is Tick without the TickInfo copy, for callers that already
+// hold the interval record in memory (the batch kernel's hot path).
+// Identical decision arithmetic.
+func (pm *PerformanceMaximizer) TickP(info *machine.TickInfo) int {
 	dpc := info.Sample.DPC()
 	counterOK := !info.Sample.Implausible() && !math.IsNaN(dpc) && !math.IsInf(dpc, 0) && dpc >= 0
 	if pm.cfg.Degrade {
@@ -442,6 +449,12 @@ func sampleUsable(ipc, dcu float64) bool {
 // recently busy) replay the last good sample for up to StaleTicks
 // intervals, then fall back to the offline core-bound model.
 func (ps *PowerSave) Tick(info machine.TickInfo) int {
+	return ps.TickP(&info)
+}
+
+// TickP is Tick without the TickInfo copy, for the batch kernel's hot
+// path. Identical decision arithmetic.
+func (ps *PowerSave) TickP(info *machine.TickInfo) int {
 	ipc := info.Sample.IPC()
 	dcu := info.Sample.DCUPerInst()
 	from := info.PState.FreqMHz

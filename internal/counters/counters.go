@@ -144,6 +144,22 @@ func (s Sample) MemPC() float64 { return s.rate(MemRequests) }
 // StallPC returns resource-stall cycles per cycle.
 func (s Sample) StallPC() float64 { return s.rate(ResourceStalls) }
 
+// PowerRates returns the four power-model input rates — DPC, L2PC,
+// MemPC, DCU — with the cycle count converted to float64 once. Each
+// rate is the same division rate() performs, so results are
+// bit-identical to calling the accessors individually.
+func (s *Sample) PowerRates() (dpc, l2pc, mempc, dcu float64) {
+	c := s.counts[Cycles]
+	if c == 0 {
+		return 0, 0, 0, 0
+	}
+	cf := float64(c)
+	return float64(s.counts[InstDecoded]) / cf,
+		float64(s.counts[L2Requests]) / cf,
+		float64(s.counts[MemRequests]) / cf,
+		float64(s.counts[DCUMissOutstanding]) / cf
+}
+
 // DCUPerInst returns DCU miss outstanding cycles per retired
 // instruction — the paper's memory-boundedness measure (DCU/IPC).
 // It returns 0 when no instructions retired in the interval.

@@ -1,0 +1,460 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"aapm/internal/counters"
+	"aapm/internal/machine"
+	"aapm/internal/trace"
+)
+
+// The step bodies in this file replicate machine.Session.Step stage by
+// stage — execute → measure → observe → govern → actuate — with the
+// same float operations in the same order, so a batch run's trace is
+// byte-identical to a staged run's. The only legal divergences from a
+// literal transcription are pure-value caches: Params.At per
+// (phase, p-state), PState.FreqHz per state, and period.Seconds() for
+// full intervals, each of which reproduces the staged value exactly.
+// Anything that would change float bits (reassociating sums, replacing
+// divisions with reciprocal multiplies) is off the table; the
+// differential suite enforces this.
+
+// failTicks records the staged engine's tick-bound error for node i.
+func (b *BatchState) failTicks(i int) {
+	b.errs[i] = fmt.Errorf("machine: run %s/%s exceeded %d ticks",
+		b.runs[i].Workload, b.policy[i], b.maxTicks[i])
+}
+
+// advancePhase mirrors runState.advance.
+func (b *BatchState) advancePhase(i int) {
+	b.phaseIdx[i]++
+	b.loadPhase(i)
+}
+
+// executeTick is the execute stage: draw the interval's intensity
+// jitter, charge pending stall and the stopped fraction of a modulated
+// clock, then walk phases accumulating cycles, instructions and
+// counter activity into the node's sample lane. ok is false when the
+// workload was already exhausted (zero-length interval).
+func (b *BatchState) executeTick(i, cur int) (used, busy, stall time.Duration, instr, jitter float64, phName string, ok bool) {
+	jitter = 1.0
+	if b.jitter[i] > 0 {
+		jitter = machine.JitterFactor(b.jitter[i], b.rngs[i].NormFloat64())
+	}
+	interval := b.period[i]
+	stall = b.pendStall[i]
+	if stall > interval {
+		stall = interval
+	}
+	b.pendStall[i] -= stall
+	if duty := b.duty[i]; duty < 1 {
+		stall += time.Duration(float64(interval-stall) * (1 - duty))
+	}
+	remaining := interval - stall
+
+	freq := b.freqHz[i][cur]
+	phs := b.phases[i]
+	nph := len(phs)
+	bRow := b.behav[i][cur*nph : cur*nph+nph]
+	sample := &b.tinfo[i].Sample
+	*sample = counters.Sample{}
+	zero := true
+	for remaining > 0 && !b.exhausted[i] {
+		pi := int(b.phaseIdx[i])
+		p := &phs[pi]
+		phName = p.Name
+		if p.Idle() {
+			idle := b.remIdle[i]
+			if idle > remaining {
+				b.remIdle[i] -= remaining
+				remaining = 0
+				break
+			}
+			remaining -= idle
+			b.remIdle[i] = 0
+			b.advancePhase(i)
+			continue
+		}
+		bb := &bRow[pi]
+		ipcEff := bb.IPC * jitter
+		remSec := remaining.Seconds()
+		if remaining == interval {
+			remSec = b.perSec[i]
+		}
+		cyclesAvail := freq * remSec
+		instrPossible := cyclesAvail * ipcEff
+		if instrPossible >= b.remInstr[i] {
+			// Phase completes within the interval.
+			cyclesUsed := b.remInstr[i] / ipcEff
+			dt := time.Duration(cyclesUsed / freq * float64(time.Second))
+			if dt > remaining {
+				dt = remaining
+			}
+			if zero {
+				machine.SetActivityP(sample, bb, jitter, cyclesUsed)
+				zero = false
+			} else {
+				machine.AddActivityP(sample, bb, jitter, cyclesUsed)
+			}
+			instr += b.remInstr[i]
+			busy += dt
+			remaining -= dt
+			b.advancePhase(i)
+			continue
+		}
+		if zero {
+			machine.SetActivityP(sample, bb, jitter, cyclesAvail)
+			zero = false
+		} else {
+			machine.AddActivityP(sample, bb, jitter, cyclesAvail)
+		}
+		instr += instrPossible
+		b.remInstr[i] -= instrPossible
+		busy += remaining
+		remaining = 0
+	}
+	used = interval - remaining
+	ok = used > 0
+	return
+}
+
+// measureFast is the measure stage on the fault-free path: ground
+// truth, the chain's reading, and both energy integrals.
+func (b *BatchState) measureFast(i, cur int, used, busy time.Duration) (trueW, meaW float64) {
+	trueW = b.machines[i].IntervalPower(cur, &b.tinfo[i].Sample, busy, used)
+	meaW = b.chains[i].Measure(trueW, b.rngs[i])
+	usedSec := used.Seconds()
+	if used == b.period[i] {
+		usedSec = b.perSec[i]
+	}
+	b.energyTrue[i].Add(trueW, usedSec)
+	if !math.IsNaN(meaW) {
+		b.energyMeas[i].Add(meaW, usedSec)
+	}
+	return
+}
+
+// emitFastRow records the interval on the fault-free specialized
+// paths: instruction totals always, the trace row only under
+// RetainTraces. Rate divisions happen only when a row is kept.
+func (b *BatchState) emitFastRow(i int, start, used time.Duration, cur int, trueW, meaW, instr float64, phName string) {
+	b.instrTot[i] += instr
+	if !b.retain {
+		return
+	}
+	s := &b.tinfo[i].Sample
+	run := b.runs[i]
+	run.Rows = append(run.Rows, trace.Row{
+		T:              start,
+		Interval:       used,
+		FreqMHz:        b.states[i][cur].FreqMHz,
+		DPC:            s.DPC(),
+		IPC:            s.IPC(),
+		DCU:            s.DCU(),
+		L2PC:           s.L2PC(),
+		MemPC:          s.MemPC(),
+		TruePowerW:     trueW,
+		MeasuredPowerW: meaW,
+		Instructions:   instr,
+		Phase:          phName,
+		Duty:           1,
+	})
+}
+
+// noteDegradations records governor degradation notes stamped at the
+// node's virtual time, as the staged govern stage does.
+func (b *BatchState) noteDegradations(i int, ds []trace.Degradation) {
+	for _, d := range ds {
+		d.T = b.now[i]
+		b.runs[i].AddDegradation(d)
+	}
+}
+
+// stepPinnedBody steps a node with no governor (or a static clock
+// pinned at its start state): execute and measure only — govern and
+// actuate are provably no-ops.
+func stepPinnedBody(b *BatchState, i int) {
+	if b.tick[i] >= b.maxTicks[i] {
+		b.failTicks(i)
+		return
+	}
+	b.tick[i]++
+	cur := int(b.curIdx[i])
+	start := b.now[i]
+	used, busy, _, instr, _, phName, ok := b.executeTick(i, cur)
+	if !ok {
+		b.done[i] = true
+		return
+	}
+	trueW, meaW := b.measureFast(i, cur, used, busy)
+	b.now[i] = start + used
+	b.lastW[i] = meaW
+	b.seq[i]++
+	if b.exhausted[i] {
+		b.done[i] = true
+	}
+	b.emitFastRow(i, start, used, cur, trueW, meaW, instr, phName)
+}
+
+// stepPMBody steps a node governed by a PerformanceMaximizer on the
+// fault-free, thermal-free, hook-free path.
+func stepPMBody(b *BatchState, i int) {
+	if b.tick[i] >= b.maxTicks[i] {
+		b.failTicks(i)
+		return
+	}
+	b.tick[i]++
+	cur := int(b.curIdx[i])
+	start := b.now[i]
+	used, busy, _, instr, _, phName, ok := b.executeTick(i, cur)
+	if !ok {
+		b.done[i] = true
+		return
+	}
+	trueW, meaW := b.measureFast(i, cur, used, busy)
+	b.now[i] = start + used
+	b.lastW[i] = meaW
+	b.seq[i]++
+	if b.exhausted[i] {
+		b.done[i] = true
+		b.emitFastRow(i, start, used, cur, trueW, meaW, instr, phName)
+		return
+	}
+	pm := b.pms[i]
+	ti := &b.tinfo[i]
+	ti.Now = b.now[i]
+	ti.Interval = used
+	ti.PState = b.states[i][cur]
+	ti.PStateIndex = cur
+	ti.MeasuredPowerW = meaW
+	want := pm.TickP(ti)
+	if ds := pm.DrainDegradations(); len(ds) != 0 {
+		b.noteDegradations(i, ds)
+	}
+	if want != cur {
+		d, err := b.acts[i].Set(want)
+		if err != nil {
+			b.errs[i] = fmt.Errorf("machine: governor %s: %w", b.policy[i], err)
+			return
+		}
+		b.pendStall[i] += d
+		b.curIdx[i] = int32(want)
+	}
+	b.emitFastRow(i, start, used, cur, trueW, meaW, instr, phName)
+}
+
+// stepPSBody steps a node governed by a PowerSave on the fault-free,
+// thermal-free, hook-free path.
+func stepPSBody(b *BatchState, i int) {
+	if b.tick[i] >= b.maxTicks[i] {
+		b.failTicks(i)
+		return
+	}
+	b.tick[i]++
+	cur := int(b.curIdx[i])
+	start := b.now[i]
+	used, busy, _, instr, _, phName, ok := b.executeTick(i, cur)
+	if !ok {
+		b.done[i] = true
+		return
+	}
+	trueW, meaW := b.measureFast(i, cur, used, busy)
+	b.now[i] = start + used
+	b.lastW[i] = meaW
+	b.seq[i]++
+	if b.exhausted[i] {
+		b.done[i] = true
+		b.emitFastRow(i, start, used, cur, trueW, meaW, instr, phName)
+		return
+	}
+	ps := b.pss[i]
+	ti := &b.tinfo[i]
+	ti.Now = b.now[i]
+	ti.Interval = used
+	ti.PState = b.states[i][cur]
+	ti.PStateIndex = cur
+	ti.MeasuredPowerW = meaW
+	want := ps.TickP(ti)
+	if ds := ps.DrainDegradations(); len(ds) != 0 {
+		b.noteDegradations(i, ds)
+	}
+	if want != cur {
+		d, err := b.acts[i].Set(want)
+		if err != nil {
+			b.errs[i] = fmt.Errorf("machine: governor %s: %w", b.policy[i], err)
+			return
+		}
+		b.pendStall[i] += d
+		b.curIdx[i] = int32(want)
+	}
+	b.emitFastRow(i, start, used, cur, trueW, meaW, instr, phName)
+}
+
+// emitTick mirrors the staged bus for the generic body: the canonical
+// recorder first (rows under RetainTraces, instruction totals always),
+// then the subscribed hooks in order.
+func (b *BatchState) emitTick(i int, ts *machine.TickState) {
+	b.instrTot[i] += ts.Instructions
+	if b.retain {
+		run := b.runs[i]
+		run.Rows = append(run.Rows, trace.Row{
+			T:              ts.Start,
+			Interval:       ts.Used,
+			FreqMHz:        ts.PState.FreqMHz,
+			DPC:            ts.Observed.DPC(),
+			IPC:            ts.Observed.IPC(),
+			DCU:            ts.Observed.DCU(),
+			L2PC:           ts.Observed.L2PC(),
+			MemPC:          ts.Observed.MemPC(),
+			TruePowerW:     ts.TruePowerW,
+			MeasuredPowerW: ts.MeasuredPowerW,
+			Instructions:   ts.Instructions,
+			Phase:          ts.Phase,
+			TempC:          ts.TempC,
+			Duty:           ts.Duty,
+		})
+	}
+	for _, h := range b.hooks[i] {
+		h.OnTick(*ts)
+	}
+}
+
+// emitTransition fans a resolved transition out to node i's hooks.
+func (b *BatchState) emitTransition(i int, tr machine.Transition) {
+	for _, h := range b.hooks[i] {
+		h.OnTransition(tr)
+	}
+}
+
+// emitDegradation records one degradation event in the node's run and
+// fans it out to the hooks, like the staged bus's canonical recorder.
+func (b *BatchState) emitDegradation(i int, d trace.Degradation) {
+	b.runs[i].AddDegradation(d)
+	for _, h := range b.hooks[i] {
+		h.OnDegradation(d)
+	}
+}
+
+// drainInjector forwards the fault injector's pending events stamped
+// at virtual time t.
+func (b *BatchState) drainInjector(i int, t time.Duration) {
+	for _, e := range b.injs[i].Drain() {
+		b.emitDegradation(i, trace.Degradation{T: t, Source: e.Source, Kind: e.Kind, Detail: e.Detail})
+	}
+}
+
+// stepGenericBody reproduces the full staged tick — fault injection,
+// thermal model, arbitrary governors (throttling included) and hook
+// fan-out — against the batch state lanes. It is the fallback whenever
+// a node needs anything the specialized bodies shed.
+func stepGenericBody(b *BatchState, i int) {
+	if b.tick[i] >= b.maxTicks[i] {
+		b.failTicks(i)
+		return
+	}
+	b.tick[i]++
+	cur := int(b.curIdx[i])
+	ts := machine.TickState{
+		Tick:        b.tick[i],
+		Start:       b.now[i],
+		Interval:    b.period[i],
+		PState:      b.states[i][cur],
+		PStateIndex: cur,
+		Duty:        b.duty[i],
+		Jitter:      1.0,
+	}
+	ts.WantIndex = cur
+	ts.NextDuty = ts.Duty
+
+	used, busy, stall, instr, jitter, phName, ok := b.executeTick(i, cur)
+	if !ok {
+		b.done[i] = true
+		return
+	}
+	ts.Used, ts.Busy, ts.Stall = used, busy, stall
+	ts.Instructions, ts.Jitter, ts.Phase = instr, jitter, phName
+	ts.Sample = b.tinfo[i].Sample
+
+	ts.TruePowerW = b.machines[i].IntervalPower(cur, &b.tinfo[i].Sample, busy, used)
+	ts.MeasuredPowerW = b.chains[i].Measure(ts.TruePowerW, b.rngs[i])
+	ts.Observed = ts.Sample
+	if inj := b.injs[i]; inj != nil {
+		inj.BeginTick()
+		ts.Observed = inj.Counters(ts.Sample)
+		ts.MeasuredPowerW = inj.Sense(ts.MeasuredPowerW)
+		b.obs[i] = ts.Observed
+		b.drainInjector(i, ts.Start+used)
+	}
+	usedSec := used.Seconds()
+	if used == b.period[i] {
+		usedSec = b.perSec[i]
+	}
+	b.energyTrue[i].Add(ts.TruePowerW, usedSec)
+	if !math.IsNaN(ts.MeasuredPowerW) {
+		b.energyMeas[i].Add(ts.MeasuredPowerW, usedSec)
+	}
+	if tm := b.tms[i]; tm != nil {
+		tm.Step(ts.TruePowerW, used)
+		ts.TempC = tm.SensorC()
+	}
+
+	b.now[i] += used
+	b.lastW[i] = ts.MeasuredPowerW
+	b.seq[i]++
+	if b.exhausted[i] {
+		ts.Final = true
+		b.done[i] = true
+		b.emitTick(i, &ts)
+		return
+	}
+
+	if g := b.govs[i]; g != nil {
+		ts.WantIndex = g.Tick(machine.TickInfo{
+			Now:            b.now[i],
+			Interval:       used,
+			Sample:         ts.Observed,
+			PState:         ts.PState,
+			PStateIndex:    cur,
+			Table:          b.tables[i],
+			MeasuredPowerW: ts.MeasuredPowerW,
+			TempC:          ts.TempC,
+			Duty:           ts.Duty,
+		})
+		if dr, ok := g.(machine.DegradationReporter); ok {
+			for _, d := range dr.DrainDegradations() {
+				d.T = b.now[i]
+				b.emitDegradation(i, d)
+			}
+		}
+		if ts.WantIndex != cur {
+			okT, extra := true, time.Duration(0)
+			if inj := b.injs[i]; inj != nil {
+				okT, extra = inj.Transition(b.acts[i].Latency())
+				b.drainInjector(i, b.now[i])
+			}
+			if okT {
+				d, err := b.acts[i].Set(ts.WantIndex)
+				if err != nil {
+					b.errs[i] = fmt.Errorf("machine: governor %s: %w", b.policy[i], err)
+					return
+				}
+				b.pendStall[i] += d + extra
+				b.curIdx[i] = int32(ts.WantIndex)
+				b.emitTransition(i, machine.Transition{T: b.now[i], From: cur, To: ts.WantIndex, OK: true, Stall: d + extra})
+			} else {
+				// Transition abandoned: the actuator stays put and the
+				// failed attempt's stall time is still paid.
+				b.acts[i].RecordFailure(extra)
+				b.pendStall[i] += extra
+				b.emitTransition(i, machine.Transition{T: b.now[i], From: cur, To: ts.WantIndex, OK: false, Stall: extra})
+			}
+		}
+		if th, ok := g.(machine.Throttler); ok {
+			b.duty[i] = machine.ClampDuty(th.Duty())
+		}
+		ts.NextDuty = b.duty[i]
+	}
+	b.emitTick(i, &ts)
+}

@@ -1,0 +1,147 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"aapm/internal/control"
+	"aapm/internal/faults"
+	"aapm/internal/machine"
+	"aapm/internal/phase"
+	"aapm/internal/sensor"
+	"aapm/internal/trace"
+)
+
+// FuzzBatchStep is the fuzzing arm of the batch/staged differential:
+// arbitrary float bit patterns (NaN, infinities, denormals, huge
+// magnitudes) become phase parameters, jitter amplitudes and governor
+// limits, and whatever the staged engine does with them — reject the
+// spec, error mid-run, or complete — the batch kernel must do
+// byte-for-byte the same. Counter and power corruption is covered by
+// routing part of the input space through fault plans, whose injector
+// writes NaN/Inf and wrapped counter values into the governor-visible
+// stream. It mirrors FuzzGovernorDecisions one layer up: there a
+// single Tick is probed, here the whole tick loop.
+func FuzzBatchStep(f *testing.F) {
+	bits := math.Float64bits
+	// Plausible spec, idle-only, NaN params, Inf intensity, huge
+	// magnitudes, heavy faults, each governor selector.
+	f.Add(bits(40e6), bits(0.9), bits(3.0), bits(1.5), bits(0.1), bits(13.5), uint16(0), uint8(0), uint8(0), int64(1))
+	f.Add(bits(0), bits(0), bits(0), bits(0), bits(0), bits(14.5), uint16(25), uint8(0), uint8(1), int64(2))
+	f.Add(bits(math.NaN()), bits(math.NaN()), bits(math.NaN()), bits(math.NaN()), bits(math.NaN()), bits(13.0), uint16(3), uint8(1), uint8(2), int64(3))
+	f.Add(bits(1e6), bits(1.2), bits(math.Inf(1)), bits(math.Inf(1)), bits(0.3), bits(0.8), uint16(0), uint8(2), uint8(3), int64(4))
+	f.Add(bits(1e300), bits(1e-300), bits(50), bits(40), bits(0.5), bits(13.5), uint16(1), uint8(3), uint8(4), int64(5))
+	f.Add(bits(2e6), bits(1.0), bits(20), bits(5), bits(0.2), bits(12.0), uint16(7), uint8(7), uint8(0), int64(6))
+
+	f.Fuzz(func(t *testing.T, instrBits, cpiBits, l2Bits, memBits, jitBits, limitBits uint64,
+		idleMs uint16, faultSel, govSel uint8, seed int64) {
+		w := phase.Workload{
+			Name:       "fuzz",
+			JitterPct:  math.Float64frombits(jitBits),
+			Iterations: 2,
+			Phases: []phase.Params{
+				{
+					Name:         "work",
+					Instructions: math.Float64frombits(instrBits),
+					CPICore:      math.Float64frombits(cpiBits),
+					L2APKI:       math.Float64frombits(l2Bits),
+					MemAPKI:      math.Float64frombits(memBits),
+					MemBPI:       math.Float64frombits(memBits) / 4,
+					MLP:          2,
+					SpecFactor:   1.1,
+					StallFrac:    0.1,
+				},
+				{Name: "nap", IdleDuration: time.Duration(idleMs%64) * time.Millisecond},
+			},
+		}
+		if w.Phases[1].IdleDuration == 0 {
+			w.Phases[1].IdleDuration = time.Millisecond
+		}
+		// MaxTicks bounds both engines on huge/non-finite specs; the
+		// cap itself is part of the differential (both must trip it
+		// identically).
+		cfg := machine.Config{Chain: sensor.NIDefault(), Seed: seed, MaxTicks: 500}
+		if faultSel%4 != 0 {
+			plan := faults.Preset(float64(faultSel%4) * 0.04)
+			cfg.Faults = &plan
+		}
+		limit := math.Float64frombits(limitBits)
+		mkGov := func() (machine.Governor, error) {
+			switch govSel % 5 {
+			case 0:
+				return control.NewPerformanceMaximizer(control.PMConfig{LimitW: limit, FeedbackGain: 0.2})
+			case 1:
+				return control.NewPowerSave(control.PSConfig{Floor: 0.8})
+			case 2:
+				return nil, nil
+			case 3:
+				return control.NewStaticClock(3, "static-fuzz"), nil
+			default:
+				return &control.OnDemand{}, nil
+			}
+		}
+		if _, err := mkGov(); err != nil {
+			// The governor spec itself is invalid (e.g. NaN limit);
+			// neither engine would get past construction.
+			return
+		}
+
+		runStaged := func() (*trace.Run, error) {
+			m, err := machine.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			g, err := mkGov()
+			if err != nil {
+				return nil, err
+			}
+			s, err := m.NewSession(w, g)
+			if err != nil {
+				return nil, err
+			}
+			for {
+				done, err := s.Step()
+				if err != nil {
+					return nil, err
+				}
+				if done {
+					return s.Result(), nil
+				}
+			}
+		}
+		runBatch := func() (*trace.Run, error) {
+			m, err := machine.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			g, err := mkGov()
+			if err != nil {
+				return nil, err
+			}
+			b, err := NewBatch([]BatchNode{{Machine: m, Workload: w, Governor: g}}, BatchOptions{RetainTraces: true})
+			if err != nil {
+				return nil, err
+			}
+			for b.StepNode(0) {
+			}
+			if err := b.NodeErr(0); err != nil {
+				return nil, err
+			}
+			return b.Result(0), nil
+		}
+
+		want, errS := runStaged()
+		got, errB := runBatch()
+		if (errS == nil) != (errB == nil) {
+			t.Fatalf("engines disagree on failure: staged err=%v, batch err=%v", errS, errB)
+		}
+		if errS != nil {
+			if errS.Error() != errB.Error() {
+				t.Fatalf("engines fail differently: staged %q, batch %q", errS, errB)
+			}
+			return
+		}
+		compareRuns(t, "fuzz", want, got)
+	})
+}

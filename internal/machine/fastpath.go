@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"time"
+
+	"aapm/internal/counters"
+	"aapm/internal/faults"
+	"aapm/internal/phase"
+	"aapm/internal/sensor"
+	"aapm/internal/thermal"
+)
+
+// This file exports the staged engine's arithmetic primitives and the
+// machine fields an alternative engine needs to replay a session
+// exactly. The batch kernel (internal/kernel) is required to produce
+// byte-identical traces to Session.Step, which is only tractable if
+// both engines execute the *same* float operations in the same order —
+// so rather than duplicating the formulas there, the staged engine's
+// helpers are exported here and shared. Any change to the staged
+// physics below automatically carries to the batch kernel; the
+// differential suite (TestBatchMatchesStaged) pins the equivalence.
+
+// JitterFactor converts a Gaussian draw into the per-interval workload
+// intensity multiplier. Identical to the staged execute stage's draw.
+func JitterFactor(pct, gauss float64) float64 { return jitterFactor(pct, gauss) }
+
+// AddActivity accumulates cycles of execution of behaviour b into the
+// interval sample, exactly as the staged execute stage does.
+func AddActivity(s *counters.Sample, b phase.Behavior, jitter, cycles float64) {
+	addActivityP(s, &b, jitter, cycles)
+}
+
+// AddActivityP is AddActivity taking the behaviour by pointer, for the
+// batch hot path. Identical operations in identical order.
+func AddActivityP(s *counters.Sample, b *phase.Behavior, jitter, cycles float64) {
+	addActivityP(s, b, jitter, cycles)
+}
+
+// SetActivityP is AddActivityP for a sample known to be all-zero (the
+// first busy segment after the per-tick reset): adding to zero is
+// setting, so the loads drop out. Bit-identical results.
+func SetActivityP(s *counters.Sample, b *phase.Behavior, jitter, cycles float64) {
+	setActivityP(s, b, jitter, cycles)
+}
+
+// ClampDuty clamps a governor-requested duty cycle the way the actuate
+// stage does.
+func ClampDuty(d float64) float64 { return clampDuty(d) }
+
+// IntervalPower returns the interval-average true power for a sample
+// accumulated over busy time within a total interval — the measure
+// stage's ground truth. The pointer receiver for the sample avoids a
+// copy on the batch hot path; the arithmetic is the staged engine's.
+func (m *Machine) IntervalPower(idx int, s *counters.Sample, busy, total time.Duration) float64 {
+	return m.intervalPower(idx, s, busy, total)
+}
+
+// Chain returns the machine's power measurement chain.
+func (m *Machine) Chain() sensor.Chain { return m.chain }
+
+// TransitionLatency returns the configured DVFS switch cost.
+func (m *Machine) TransitionLatency() time.Duration { return m.translat }
+
+// ThermalConfig returns the thermal model configuration, nil when the
+// platform has none.
+func (m *Machine) ThermalConfig() *thermal.Config { return m.thermal }
+
+// FaultPlan returns the active fault plan, nil when fault injection is
+// off.
+func (m *Machine) FaultPlan() *faults.Plan { return m.faults }
+
+// MaxTicks returns the per-run tick bound.
+func (m *Machine) MaxTicks() int { return m.maxTicks }
+
+// SessionSeed returns the per-run RNG seed a session of workload name
+// derives — the same source feeds measurement noise and workload
+// jitter, and (from an independent stream) the fault injector.
+func (m *Machine) SessionSeed(workload string) int64 {
+	return m.seed ^ int64(hashName(workload))
+}
+
+// StartIndex returns the p-state index a session of governor g starts
+// at, honoring an InitialStater override exactly as NewSession does.
+func (m *Machine) StartIndex(g Governor) int {
+	start := m.startIdx
+	if is, ok := g.(InitialStater); ok {
+		start = is.InitialIndex(start)
+	}
+	return start
+}

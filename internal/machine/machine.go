@@ -472,16 +472,36 @@ func (m *Machine) RunWith(w phase.Workload, g Governor, hooks ...Hook) (*trace.R
 // intensity jitter applied to the instruction-proportional rates) into
 // the interval sample.
 func addActivity(s *counters.Sample, b phase.Behavior, jitter, cycles float64) {
+	addActivityP(s, &b, jitter, cycles)
+}
+
+// addActivityP is addActivity without the Behavior copy — the batch
+// kernel's entry point (machine.AddActivityP). Same operations in the
+// same order.
+// setActivityP is addActivityP when the sample is known to be zero —
+// adding to zero counts is setting them, so the read-modify-write pairs
+// collapse to stores. Bit-identical results.
+func setActivityP(s *counters.Sample, b *phase.Behavior, jitter, cycles float64) {
+	s.SetCount(counters.Cycles, uint64(cycles+0.5))
+	s.SetCount(counters.InstDecoded, uint64(b.DPC*jitter*cycles+0.5))
+	s.SetCount(counters.InstRetired, uint64(b.IPC*jitter*cycles+0.5))
+	s.SetCount(counters.DCUMissOutstanding, uint64(b.DCU*cycles+0.5))
+	s.SetCount(counters.L2Requests, uint64(b.L2PC*jitter*cycles+0.5))
+	s.SetCount(counters.MemRequests, uint64(b.MemPC*jitter*cycles+0.5))
+	s.SetCount(counters.ResourceStalls, uint64(b.StallPC*cycles+0.5))
+}
+
+func addActivityP(s *counters.Sample, b *phase.Behavior, jitter, cycles float64) {
+	// Unrolled (no closure) so the sample stays in registers on the
+	// batch hot path; each count is rate*cycles+0.5 truncated, with the
+	// rate grouped exactly as before (b.X*jitter, then *cycles).
 	s.SetCount(counters.Cycles, s.Count(counters.Cycles)+uint64(cycles+0.5))
-	add := func(e counters.Event, rate float64) {
-		s.SetCount(e, s.Count(e)+uint64(rate*cycles+0.5))
-	}
-	add(counters.InstDecoded, b.DPC*jitter)
-	add(counters.InstRetired, b.IPC*jitter)
-	add(counters.DCUMissOutstanding, b.DCU)
-	add(counters.L2Requests, b.L2PC*jitter)
-	add(counters.MemRequests, b.MemPC*jitter)
-	add(counters.ResourceStalls, b.StallPC)
+	s.SetCount(counters.InstDecoded, s.Count(counters.InstDecoded)+uint64(b.DPC*jitter*cycles+0.5))
+	s.SetCount(counters.InstRetired, s.Count(counters.InstRetired)+uint64(b.IPC*jitter*cycles+0.5))
+	s.SetCount(counters.DCUMissOutstanding, s.Count(counters.DCUMissOutstanding)+uint64(b.DCU*cycles+0.5))
+	s.SetCount(counters.L2Requests, s.Count(counters.L2Requests)+uint64(b.L2PC*jitter*cycles+0.5))
+	s.SetCount(counters.MemRequests, s.Count(counters.MemRequests)+uint64(b.MemPC*jitter*cycles+0.5))
+	s.SetCount(counters.ResourceStalls, s.Count(counters.ResourceStalls)+uint64(b.StallPC*cycles+0.5))
 }
 
 // idlePowerFraction is the fraction of the p-state's base power drawn
@@ -491,7 +511,7 @@ const idlePowerFraction = 0.5
 // intervalPower returns the interval-average true power: active power
 // from counter rates over the busy portion, gated idle power over the
 // rest.
-func (m *Machine) intervalPower(idx int, s counters.Sample, busy, total time.Duration) float64 {
+func (m *Machine) intervalPower(idx int, s *counters.Sample, busy, total time.Duration) float64 {
 	if total <= 0 {
 		return 0
 	}
@@ -500,7 +520,15 @@ func (m *Machine) intervalPower(idx int, s counters.Sample, busy, total time.Dur
 	if busy <= 0 {
 		return idleW
 	}
-	activeW := m.truth.Power(idx, s)
+	dpc, l2pc, mempc, dcu := s.PowerRates()
+	activeW := m.truth.PowerFromRates(idx, dpc, l2pc, mempc, dcu)
+	if busy == total {
+		// bf below would be exactly 1 (x/x for finite nonzero x), making
+		// the blend activeW*1 + idleW*0 — bit-identical to activeW for
+		// any finite positive activeW, so the common fully-busy interval
+		// skips the divisions.
+		return activeW
+	}
 	bf := busy.Seconds() / total.Seconds()
 	if bf > 1 {
 		bf = 1

@@ -143,7 +143,7 @@ func (s *Session) execute(ts *TickState) bool {
 // sample.
 func (s *Session) measure(ts *TickState) {
 	m := s.m
-	ts.TruePowerW = m.intervalPower(ts.PStateIndex, ts.Sample, ts.Busy, ts.Used)
+	ts.TruePowerW = m.intervalPower(ts.PStateIndex, &ts.Sample, ts.Busy, ts.Used)
 	ts.MeasuredPowerW = m.chain.Measure(ts.TruePowerW, s.rng)
 	// The governor-visible sample; fault injection corrupts it (and
 	// the measured power) without touching the true physics above.

@@ -1,4 +1,4 @@
-package model
+package model_test
 
 import (
 	"math"
@@ -6,18 +6,19 @@ import (
 
 	"aapm/internal/machine"
 	"aapm/internal/mloops"
+	"aapm/internal/model"
 	"aapm/internal/phase"
 	"aapm/internal/sensor"
 )
 
 func TestCollectTrainingDataValidation(t *testing.T) {
-	if _, err := CollectTrainingData(machine.Config{}, nil, 1e6); err == nil {
+	if _, err := model.CollectTrainingData(machine.Config{}, nil, 1e6); err == nil {
 		t.Error("empty training set accepted")
 	}
 	set := []phase.Params{{
 		Name: "p", Instructions: 1e6, CPICore: 0.5, MLP: 1, SpecFactor: 1.1,
 	}}
-	if _, err := CollectTrainingData(machine.Config{}, set, 0); err == nil {
+	if _, err := model.CollectTrainingData(machine.Config{}, set, 0); err == nil {
 		t.Error("zero run length accepted")
 	}
 }
@@ -27,7 +28,7 @@ func TestCollectTrainingDataShape(t *testing.T) {
 		{Name: "core", Instructions: 1, CPICore: 0.5, MLP: 1, SpecFactor: 1.1},
 		{Name: "mem", Instructions: 1, CPICore: 0.5, L2APKI: 150, MemAPKI: 120, MLP: 2, SpecFactor: 1.3},
 	}
-	pts, err := CollectTrainingData(machine.Config{Seed: 3}, set, 3e8)
+	pts, err := model.CollectTrainingData(machine.Config{Seed: 3}, set, 3e8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,10 +42,10 @@ func TestCollectTrainingDataShape(t *testing.T) {
 	}
 	// The memory config's DCU/IPC must dominate the core config's at
 	// every p-state.
-	byState := map[int]map[string]TrainingPoint{}
+	byState := map[int]map[string]model.TrainingPoint{}
 	for _, p := range pts {
 		if byState[p.PStateIndex] == nil {
-			byState[p.PStateIndex] = map[string]TrainingPoint{}
+			byState[p.PStateIndex] = map[string]model.TrainingPoint{}
 		}
 		byState[p.PStateIndex][p.Config] = p
 	}
@@ -67,7 +68,7 @@ func TestTrainingRecoversTableII(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts, err := CollectTrainingData(machine.Config{
+	pts, err := model.CollectTrainingData(machine.Config{
 		Chain: sensor.NIDefault(),
 		Seed:  7,
 	}, set, 3e8)
@@ -77,8 +78,8 @@ func TestTrainingRecoversTableII(t *testing.T) {
 	if len(pts) != 12*8 {
 		t.Fatalf("collected %d points, want 96 (the paper's 12 per p-state)", len(pts))
 	}
-	paper := PaperPowerModel()
-	fit, err := FitPowerModel(paper.Table(), pts)
+	paper := model.PaperPowerModel()
+	fit, err := model.FitPowerModel(paper.Table(), pts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestTrainingRecoversTableII(t *testing.T) {
 
 	// The performance-model fit must classify with a sub-3 threshold
 	// and land the exponent in the paper's (0.59..0.81) neighbourhood.
-	pf, err := FitPerfModel(pts)
+	pf, err := model.FitPerfModel(pts)
 	if err != nil {
 		t.Fatal(err)
 	}

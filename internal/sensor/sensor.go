@@ -61,6 +61,13 @@ func (c Chain) Validate() error {
 // Measure converts a true power value into one measured sample. rng
 // supplies the noise; a nil rng yields the noise-free reading.
 func (c Chain) Measure(trueW float64, rng *rand.Rand) float64 {
+	return (&c).MeasureP(trueW, rng)
+}
+
+// MeasureP is Measure on a pointer receiver, for hot loops that hold
+// the chain in a slice and want to skip the receiver copy. Identical
+// arithmetic.
+func (c *Chain) MeasureP(trueW float64, rng *rand.Rand) float64 {
 	v := trueW * (1 + c.GainError)
 	if rng != nil && c.NoiseStdW > 0 {
 		v += rng.NormFloat64() * c.NoiseStdW
@@ -68,6 +75,38 @@ func (c Chain) Measure(trueW float64, rng *rand.Rand) float64 {
 	if c.QuantStepW > 0 {
 		steps := v / c.QuantStepW
 		v = float64(int64(steps+0.5)) * c.QuantStepW
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Prepared is a measurement chain with its per-sample constants
+// folded: the gain multiplier (1 + GainError) is computed once instead
+// of per reading. Measurement results are bit-identical to
+// Chain.Measure — the fold is a pure constant.
+type Prepared struct {
+	gain1      float64
+	noiseStdW  float64
+	quantStepW float64
+}
+
+// Prepare folds the chain's constants for a hot measurement loop.
+func (c Chain) Prepare() Prepared {
+	return Prepared{gain1: 1 + c.GainError, noiseStdW: c.NoiseStdW, quantStepW: c.QuantStepW}
+}
+
+// Measure converts a true power value into one measured sample,
+// exactly as Chain.Measure does.
+func (p *Prepared) Measure(trueW float64, rng *rand.Rand) float64 {
+	v := trueW * p.gain1
+	if rng != nil && p.noiseStdW > 0 {
+		v += rng.NormFloat64() * p.noiseStdW
+	}
+	if p.quantStepW > 0 {
+		steps := v / p.quantStepW
+		v = float64(int64(steps+0.5)) * p.quantStepW
 	}
 	if v < 0 {
 		v = 0

@@ -8,6 +8,7 @@ import (
 	"aapm/internal/cluster"
 	"aapm/internal/control"
 	"aapm/internal/experiment"
+	"aapm/internal/kernel"
 	"aapm/internal/machine"
 	"aapm/internal/sensor"
 	"aapm/internal/spec"
@@ -67,29 +68,39 @@ func (s *Service) runSingle(ctx context.Context, j *Job) (Result, *trace.Run, er
 	if err != nil {
 		return Result{}, nil, err
 	}
-	sess, err := m.NewSession(w, gov)
-	if err != nil {
-		return Result{}, nil, err
-	}
 	policy := "none"
 	if gov != nil {
 		policy = gov.Name()
 	}
-	sess.Subscribe(newProgressHook(j.events, "", s.cfg.ProgressEvery))
-	sess.Subscribe(telemetry.NewObserver(s.reg, js.Workload, policy))
+	// The run is stepped through the batch kernel. The observer hooks
+	// demote it to the kernel's generic body, which replicates the
+	// staged event order exactly, so the trace stays byte-identical to
+	// a direct machine run of the same spec — the golden-through-serve
+	// test pins that equivalence, and with it the kernel itself.
+	batch, err := kernel.NewBatch([]kernel.BatchNode{{Machine: m, Workload: w, Governor: gov}}, kernel.BatchOptions{
+		RetainTraces: true,
+		Hooks: func(int) []machine.Hook {
+			return []machine.Hook{
+				newProgressHook(j.events, "", s.cfg.ProgressEvery),
+				telemetry.NewObserver(s.reg, js.Workload, policy),
+			}
+		},
+	})
+	if err != nil {
+		return Result{}, nil, err
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return Result{}, nil, err
 		}
-		done, err := sess.Step()
-		if err != nil {
-			return Result{}, nil, err
-		}
-		if done {
+		if !batch.StepNode(0) {
 			break
 		}
 	}
-	run := sess.Result()
+	if err := batch.NodeErr(0); err != nil {
+		return Result{}, nil, err
+	}
+	run := batch.Result(0)
 	return Result{
 		ID:          j.ID,
 		Workload:    run.Workload,
