@@ -25,6 +25,7 @@ fuzz-short:
 	go test ./internal/trace -fuzz FuzzReadCSV -fuzztime $(FUZZTIME)
 	go test ./internal/phase -fuzz FuzzParseWorkloadJSON -fuzztime $(FUZZTIME)
 	go test ./internal/kernel -fuzz FuzzBatchStep -fuzztime $(FUZZTIME)
+	go test ./internal/alloc -fuzz FuzzWaterfill -fuzztime $(FUZZTIME)
 
 # Refresh the golden trace fixtures after an intentional trace change.
 # Also covers the Prometheus exposition fixture in internal/telemetry.
@@ -87,6 +88,22 @@ tick-bench:
 tick-gate:
 	go test -run 'TestBatchTickAllocs|TestBatchMatchesStaged' ./internal/kernel/
 	go test -run '^$$' -bench BenchmarkBatchTick -benchtime 1000x -benchmem .
+
+# Fleet-scale smoke: a 100k-node, multi-epoch hierarchical run must
+# finish and stay inside the tested per-node memory budget (the
+# TotalAlloc gate in TestFleetMemoryBudget), plus the one-level and
+# multi-level determinism differentials.
+.PHONY: fleet-smoke
+fleet-smoke:
+	go test -run 'TestFleetOneLevelMatchesFlat|TestFleetMultiLevelDeterministic' ./internal/cluster/
+	go test -run TestFleetMemoryBudget -count=1 ./internal/cluster/
+
+# Hierarchical fleet coordinator throughput in node-ticks/sec; the
+# committed BENCH_fleet.json tracks the trajectory. Append a datapoint
+# with `go run ./cmd/aapm-fleetbench -json`.
+.PHONY: fleet-bench
+fleet-bench:
+	go run ./cmd/aapm-fleetbench -count 3
 
 .PHONY: all
 all: vet test race

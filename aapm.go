@@ -220,6 +220,28 @@ type ClusterResult = cluster.Result
 // internal/cluster for the coordinator's water-filling policy.
 func RunCluster(cfg ClusterConfig) (*ClusterResult, error) { return cluster.Run(cfg) }
 
+// FleetConfig describes a hierarchical shared-budget co-simulation:
+// the flat coordinator's budget policy run at every tier of an
+// allocation tree (root over pods over racks over nodes), sized for
+// fleets of 10⁵+ nodes in one process.
+type FleetConfig = cluster.FleetConfig
+
+// FleetResult is a hierarchical co-simulation outcome.
+type FleetResult = cluster.FleetResult
+
+// RunFleet co-simulates a node fleet under the hierarchical
+// coordinator. A one-level fleet reproduces RunCluster byte for byte;
+// deeper trees re-run the same allocator over per-group aggregates at
+// each level. See the "Hierarchical fleet coordinator" section of
+// DESIGN.md.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) { return cluster.RunFleet(cfg) }
+
+// SyntheticFleetNodes builds n synthetic leaf nodes (three fixed
+// profiles, round-robin) sized to run roughly the given number of
+// 10 ms intervals each — the stock population for fleet-scale
+// benchmarks.
+func SyntheticFleetNodes(n, ticks int) []ClusterNode { return cluster.SyntheticFleet(n, ticks) }
+
 // BatchNode binds one node's platform, workload and governor for a
 // batch-kernel run. The governor must be a fresh instance, exactly as
 // with Platform.Run.

@@ -169,6 +169,25 @@ func best(samples []float64) float64 {
 	return m
 }
 
+// spreadPct is the sample spread as a percentage of the best sample —
+// (max-min)/min — the scheduler-noise yardstick the history entries
+// carry so a regression can be told from a noisy host.
+func spreadPct(samples []float64) float64 {
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return (hi - lo) / lo * 100
+}
+
 // cpuModel reads the host CPU's model name for the history entry.
 func cpuModel() string {
 	data, err := os.ReadFile("/proc/cpuinfo")
@@ -197,15 +216,18 @@ func gitHead() string {
 // staged shared-budget coordinator (the BenchmarkClusterTick baseline)
 // and speedup is cluster_ns_per_op / ns_per_op — the acceptance ratio.
 type entry struct {
-	Date           string    `json:"date"`
-	BaseCommit     string    `json:"base_commit"`
-	NsPerOp        float64   `json:"ns_per_op"`
-	SamplesNsOp    []float64 `json:"samples_ns_per_op"`
-	StagedNsPerOp  float64   `json:"staged_ns_per_op"`
-	ClusterNsPerOp float64   `json:"cluster_ns_per_op"`
-	Speedup        float64   `json:"speedup"`
-	CPU            string    `json:"cpu"`
-	Note           string    `json:"note,omitempty"`
+	Date               string    `json:"date"`
+	BaseCommit         string    `json:"base_commit"`
+	NsPerOp            float64   `json:"ns_per_op"`
+	SamplesNsOp        []float64 `json:"samples_ns_per_op"`
+	StagedNsPerOp      float64   `json:"staged_ns_per_op"`
+	SamplesStagedNsOp  []float64 `json:"samples_staged_ns_per_op"`
+	ClusterNsPerOp     float64   `json:"cluster_ns_per_op"`
+	SamplesClusterNsOp []float64 `json:"samples_cluster_ns_per_op"`
+	SpreadPct          float64   `json:"spread_pct"`
+	Speedup            float64   `json:"speedup"`
+	CPU                string    `json:"cpu"`
+	Note               string    `json:"note,omitempty"`
 }
 
 func run() error {
@@ -245,23 +267,26 @@ func run() error {
 
 	if *asJSON {
 		e := entry{
-			Date:           time.Now().UTC().Format("2006-01-02"),
-			BaseCommit:     gitHead(),
-			NsPerOp:        round1(bb),
-			SamplesNsOp:    round1s(batch),
-			StagedNsPerOp:  round1(sb),
-			ClusterNsPerOp: round1(cb),
-			Speedup:        round2(speedup),
-			CPU:            cpuModel(),
-			Note:           *note,
+			Date:               time.Now().UTC().Format("2006-01-02"),
+			BaseCommit:         gitHead(),
+			NsPerOp:            round1(bb),
+			SamplesNsOp:        round1s(batch),
+			StagedNsPerOp:      round1(sb),
+			SamplesStagedNsOp:  round1s(staged),
+			ClusterNsPerOp:     round1(cb),
+			SamplesClusterNsOp: round1s(clus),
+			SpreadPct:          round1(spreadPct(batch)),
+			Speedup:            round2(speedup),
+			CPU:                cpuModel(),
+			Note:               *note,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(e)
 	}
-	fmt.Printf("batch kernel: %.1f ns/node-tick (best of %d)\n", bb, *count)
-	fmt.Printf("staged engine: %.1f ns/node-tick (best of %d)\n", sb, *count)
-	fmt.Printf("staged cluster baseline: %.1f ns/node-tick (best of %d)\n", cb, *count)
+	fmt.Printf("batch kernel: %.1f ns/node-tick (best of %d, spread %.1f%%)\n", bb, *count, spreadPct(batch))
+	fmt.Printf("staged engine: %.1f ns/node-tick (best of %d, spread %.1f%%)\n", sb, *count, spreadPct(staged))
+	fmt.Printf("staged cluster baseline: %.1f ns/node-tick (best of %d, spread %.1f%%)\n", cb, *count, spreadPct(clus))
 	fmt.Printf("speedup vs cluster baseline: %.2fx (vs bare staged engine: %.2fx)\n", speedup, sb/bb)
 	return nil
 }

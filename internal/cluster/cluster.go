@@ -24,9 +24,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 	"time"
 
+	"aapm/internal/alloc"
 	"aapm/internal/control"
 	"aapm/internal/kernel"
 	"aapm/internal/machine"
@@ -363,30 +363,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 		if !cfg.Static && tick > 0 && tick%epoch == 0 {
 			for i := range demands {
-				d := &demands[i]
-				*d = demand{active: !eng.done(i)}
-				if !d.active {
-					continue
-				}
-				switch {
-				case recentN[i] > 0:
-					// The epoch average, not the last tick: a one-tick
-					// spike must not swing a whole epoch's shares.
-					d.useDPC = true
-					d.dpc = recentDPC[i] / float64(recentN[i])
-					d.avgW = recentW[i] / float64(recentN[i])
-				case !epochFresh[i] && eng.seq(i) > 0:
-					// The tap was last written in an earlier epoch: the
-					// node has effectively gone dark (e.g. degraded
-					// offline mid-epoch). Hold its previous share rather
-					// than reallocating on stale data.
-					d.hold = true
-				case eng.seq(i) > 0 && usable(eng.lastDPC(i)):
-					// Fresh tap but no full-epoch average (e.g. power
-					// readings dropped all epoch): fall back to the tap.
-					d.useDPC = true
-					d.dpc = eng.lastDPC(i)
-				}
+				assembleDemand(&demands[i], eng.done(i), recentW[i], recentDPC[i], recentN[i], epochFresh[i], eng.seq(i), eng.lastDPC(i))
 			}
 			reallocate(cfg.BudgetW, floor, table, demands, pms, limits)
 			for i := range recentW {
@@ -520,104 +497,89 @@ type demand struct {
 	avgW float64
 }
 
+// assembleDemand builds one node's reallocation input from its epoch
+// accumulators and tap state. Shared verbatim by the flat coordinator
+// and the fleet hierarchy so the two cannot drift: done/seq/lastDPC
+// come from the engine's post-barrier accessors, the rest are the
+// coordinator's per-epoch accumulators.
+func assembleDemand(d *demand, done bool, recentW, recentDPC float64, recentN int, epochFresh bool, seq uint64, lastDPC float64) {
+	*d = demand{active: !done}
+	if !d.active {
+		return
+	}
+	switch {
+	case recentN > 0:
+		// The epoch average, not the last tick: a one-tick
+		// spike must not swing a whole epoch's shares.
+		d.useDPC = true
+		d.dpc = recentDPC / float64(recentN)
+		d.avgW = recentW / float64(recentN)
+	case !epochFresh && seq > 0:
+		// The tap was last written in an earlier epoch: the
+		// node has effectively gone dark (e.g. degraded
+		// offline mid-epoch). Hold its previous share rather
+		// than reallocating on stale data.
+		d.hold = true
+	case seq > 0 && usable(lastDPC):
+		// Fresh tap but no full-epoch average (e.g. power
+		// readings dropped all epoch): fall back to the tap.
+		d.useDPC = true
+		d.dpc = lastDPC
+	}
+}
+
 // budgetMarginW is the small headroom added to each node's desire so
 // intensity jitter does not trip a tightly fitted limit.
-const budgetMarginW = 0.5
+const budgetMarginW = alloc.DefaultMarginW
+
+// nodeAgg adapts one node's demand record to the alloc.Aggregate
+// summary the level-agnostic allocator consumes. Its HeldW reads the
+// live limits slice, so holds accumulated during an Allocate see the
+// share as of the epoch boundary (apply callbacks fire only after all
+// summaries are read).
+type nodeAgg struct {
+	d      *demand
+	pm     *control.PerformanceMaximizer
+	table  *pstate.Table
+	limits []float64
+	i      int
+}
+
+func (a *nodeAgg) Active() bool { return a.d.active }
+func (a *nodeAgg) Stale() bool  { return a.d.hold }
+func (a *nodeAgg) HeldW() float64 {
+	return a.limits[a.i]
+}
+func (a *nodeAgg) DesireW() float64 {
+	if !a.d.useDPC {
+		return math.NaN()
+	}
+	return a.pm.BudgetDesireW(a.table, a.d.dpc)
+}
+func (a *nodeAgg) RecentPowerW() float64       { return a.d.avgW }
+func (a *nodeAgg) RecentDPC() float64          { return a.d.dpc }
+func (a *nodeAgg) MinW(floorW float64) float64 { return floorW }
 
 // reallocate redistributes the budget over the active nodes' demands:
 // each node with a usable epoch average asks for the power its PM
 // would need to run the top p-state at that average decode rate (at
 // least its average measured draw), held nodes keep their previous
 // share off the top of the budget, and finished nodes release theirs.
-// limits is updated in place with each node's new share.
+// limits is updated in place with each node's new share. The policy
+// and waterfill live in package alloc (the level-agnostic layer the
+// fleet hierarchy reuses); this is the one-level leaf adapter.
 func reallocate(budget, floor float64, table *pstate.Table, demands []demand, pms []*control.PerformanceMaximizer, limits []float64) {
-	var idx []int
-	var desires []float64
-	var held float64
+	aggs := make([]nodeAgg, len(demands))
+	children := make([]alloc.Aggregate, len(demands))
 	for i := range demands {
-		d := demands[i]
-		if !d.active {
-			continue
-		}
-		if d.hold {
-			held += limits[i]
-			continue
-		}
-		desire := floor
-		if d.useDPC {
-			desire = pms[i].BudgetDesireW(table, d.dpc) + budgetMarginW
-			if d.avgW > desire {
-				desire = d.avgW
-			}
-		}
-		idx = append(idx, i)
-		desires = append(desires, desire)
+		aggs[i] = nodeAgg{d: &demands[i], pm: pms[i], table: table, limits: limits, i: i}
+		children[i] = &aggs[i]
 	}
-	if len(idx) == 0 {
-		return
-	}
-	avail := budget - held
-	if min := floor * float64(len(idx)); avail < min {
-		// Pathological: held shares squeeze the rest below their
-		// floors. The floor guarantee wins; the overshoot lasts at
-		// most until the held nodes wake or finish.
-		avail = min
-	}
-	lims := waterfill(avail, floor, desires)
-	for k, i := range idx {
-		limits[i] = lims[k]
-		pms[i].SetLimit(lims[k])
-		if debugHook != nil {
-			debugHook(i, desires[k], lims[k])
-		}
-	}
-}
-
-// waterfill computes per-node power limits from the nodes' desires:
-// everyone receives min(desire, level) where the common water level
-// spends the whole budget — the cheapest desires are satisfied fully
-// and what remains splits evenly among the rest. Desires below the
-// floor clamp up so no node starves. Provided floor*len(desires) <=
-// budget, the returned limits sum to at most budget.
-func waterfill(budget, floor float64, desires []float64) []float64 {
-	n := len(desires)
-	limits := make([]float64, n)
-	if n == 0 {
-		return limits
-	}
-	clamped := make([]float64, n)
-	for i, d := range desires {
-		if d < floor {
-			d = floor
-		}
-		clamped[i] = d
-	}
-	sorted := make([]float64, n)
-	copy(sorted, clamped)
-	sort.Float64s(sorted)
-
-	remaining := budget
-	level := 0.0
-	for k, d := range sorted {
-		evenShare := remaining / float64(n-k)
-		if d >= evenShare {
-			level = evenShare
-			break
-		}
-		remaining -= d
-		level = d // all remaining nodes satisfied
-	}
-	for i, d := range clamped {
-		limit := d
-		if limit > level {
-			limit = level
-		}
-		if limit < floor {
-			limit = floor
-		}
-		limits[i] = limit
-	}
-	return limits
+	al := alloc.Allocator{MarginW: budgetMarginW, OnDecision: debugHook}
+	al.Allocate(budget, floor, children, func(i int, w float64) {
+		limits[i] = w
+		pms[i].SetLimit(w)
+	})
 }
 
 // debugHook, when set by tests, receives each reallocation decision.

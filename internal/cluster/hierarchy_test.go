@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"aapm/internal/sensor"
+	"aapm/internal/telemetry"
+)
+
+// fleetCSV serializes every node trace of a fleet result, in node
+// order, in the same format tracesCSV uses for flat results so the
+// two are directly comparable.
+func fleetCSV(t testing.TB, res *FleetResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, run := range res.Runs {
+		fmt.Fprintf(&buf, "# node %d %s\n", i, res.Names[i])
+		if err := run.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// diffLines fails the test at the first diverging line of two trace
+// serializations.
+func diffLines(t *testing.T, what string, a, b []byte) {
+	t.Helper()
+	if bytes.Equal(a, b) {
+		return
+	}
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			t.Fatalf("%s: traces diverge at line %d:\n  a %s\n  b %s", what, i, al[i], bl[i])
+		}
+	}
+	t.Fatalf("%s: traces differ in length: %d vs %d lines", what, len(al), len(bl))
+}
+
+// TestFleetOneLevelMatchesFlat is the hierarchy's determinism anchor:
+// a one-level fleet — the root allocating straight over the leaves —
+// must reproduce the flat coordinator byte for byte: traces, energy
+// integrals, degradation logs and budget accounting, at any worker
+// count.
+func TestFleetOneLevelMatchesFlat(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			flat, err := Run(Config{
+				BudgetW: 104,
+				Nodes:   eightNodes(t),
+				Seed:    seed,
+				Chain:   sensor.NIDefault(),
+				Workers: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fleet, err := RunFleet(FleetConfig{
+				BudgetW:      104,
+				Nodes:        eightNodes(t),
+				Seed:         seed,
+				Chain:        sensor.NIDefault(),
+				Workers:      8,
+				Levels:       1,
+				RetainTraces: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffLines(t, "flat vs one-level fleet", tracesCSV(t, flat), fleetCSV(t, fleet))
+			for i := range flat.Runs {
+				fr, hr := flat.Runs[i], fleet.Runs[i]
+				if fr.EnergyJ != hr.EnergyJ || fr.MeasuredEnergyJ != hr.MeasuredEnergyJ {
+					t.Errorf("node %d energy diverges: flat %v/%v J, fleet %v/%v J",
+						i, fr.EnergyJ, fr.MeasuredEnergyJ, hr.EnergyJ, hr.MeasuredEnergyJ)
+				}
+				if len(fr.Degradations) != len(hr.Degradations) {
+					t.Errorf("node %d degradation logs diverge: %d vs %d entries",
+						i, len(fr.Degradations), len(hr.Degradations))
+				}
+			}
+			if flat.MachineSeconds != fleet.MachineSeconds || flat.Makespan != fleet.Makespan {
+				t.Errorf("aggregates diverge: flat %v/%v, fleet %v/%v",
+					flat.MachineSeconds, flat.Makespan, fleet.MachineSeconds, fleet.Makespan)
+			}
+			if flat.PeakTotalW != fleet.PeakTotalW || flat.OverFrac != fleet.OverFrac ||
+				flat.ContendedOverFrac != fleet.ContendedOverFrac ||
+				flat.ContendedIntervals != fleet.ContendedIntervals {
+				t.Errorf("budget accounting diverges: flat peak=%v over=%v cover=%v cint=%d, fleet peak=%v over=%v cover=%v cint=%d",
+					flat.PeakTotalW, flat.OverFrac, flat.ContendedOverFrac, flat.ContendedIntervals,
+					fleet.PeakTotalW, fleet.OverFrac, fleet.ContendedOverFrac, fleet.ContendedIntervals)
+			}
+		})
+	}
+}
+
+// TestFleetMultiLevelDeterministic pins the multi-level contract: a
+// hierarchy of any depth produces byte-identical traces and aggregates
+// for every worker count.
+func TestFleetMultiLevelDeterministic(t *testing.T) {
+	for _, levels := range []int{2, 3} {
+		levels := levels
+		t.Run(fmt.Sprintf("levels=%d", levels), func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) (*FleetResult, []byte) {
+				res, err := RunFleet(FleetConfig{
+					BudgetW:      16 * 48,
+					Nodes:        SyntheticFleet(48, 60),
+					Seed:         7,
+					Chain:        sensor.NIDefault(),
+					Workers:      workers,
+					Levels:       levels,
+					Fanout:       4,
+					RetainTraces: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, fleetCSV(t, res)
+			}
+			ref, refCSV := run(1)
+			if ref.Levels != levels || ref.Epochs == 0 || ref.Intervals == 0 {
+				t.Fatalf("degenerate reference run: %+v", ref)
+			}
+			wantGroups := []int{12, 3}[:levels-1]
+			for i, g := range wantGroups {
+				if ref.GroupsPerLevel[i] != g {
+					t.Errorf("GroupsPerLevel[%d] = %d, want %d", i, ref.GroupsPerLevel[i], g)
+				}
+			}
+			for _, workers := range []int{5, 8} {
+				res, csv := run(workers)
+				diffLines(t, fmt.Sprintf("workers 1 vs %d", workers), refCSV, csv)
+				if res.MachineSeconds != ref.MachineSeconds || res.Makespan != ref.Makespan ||
+					res.PeakTotalW != ref.PeakTotalW || res.OverFrac != ref.OverFrac ||
+					res.NodeTicks != ref.NodeTicks || res.Epochs != ref.Epochs {
+					t.Errorf("workers=%d aggregates diverge from serial", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestFleetValidation pins the config error paths.
+func TestFleetValidation(t *testing.T) {
+	if _, err := RunFleet(FleetConfig{BudgetW: 100}); err == nil {
+		t.Error("no nodes accepted")
+	}
+	nodes := SyntheticFleet(4, 5)
+	if _, err := RunFleet(FleetConfig{Nodes: nodes}); err == nil {
+		t.Error("non-positive budget accepted")
+	}
+	if _, err := RunFleet(FleetConfig{BudgetW: 10, Nodes: nodes}); err == nil {
+		t.Error("budget below the floor guarantee accepted")
+	}
+	if _, err := RunFleet(FleetConfig{BudgetW: 100, Nodes: nodes, Levels: 2, Fanout: 1}); err == nil {
+		t.Error("fanout 1 with 2 levels accepted")
+	}
+	if _, err := RunFleet(FleetConfig{BudgetW: 100, Nodes: nodes, Levels: 17}); err == nil {
+		t.Error("17 levels accepted")
+	}
+}
+
+// fleetBytesPerNodeBudget caps the per-node allocation cost of a
+// fleet run (cumulative bytes allocated during RunFleet divided by
+// the node count). The footprint is the BatchState's lanes plus one
+// machine/PM/run header per node; the budget holds headroom over the
+// measured ~1.7 KiB so a regression that, say, reintroduces per-node
+// RNGs (~5 KiB each) or per-node tables fails loudly.
+const fleetBytesPerNodeBudget = 2560
+
+// TestFleetMemoryBudget is the scale gate: one process steps 100,000
+// nodes through a multi-epoch hierarchical run, within the per-node
+// allocation budget.
+func TestFleetMemoryBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is race-instrumented")
+	}
+	if testing.Short() {
+		t.Skip("fleet-scale run")
+	}
+	const n, ticks = 100_000, 120
+	nodes := SyntheticFleet(n, ticks)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	res, err := RunFleet(FleetConfig{
+		BudgetW: 30 * n,
+		Nodes:   nodes,
+		Seed:    1,
+		Levels:  3,
+		Fanout:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+	perNode := float64(m1.TotalAlloc-m0.TotalAlloc) / n
+	t.Logf("fleet %d nodes, %d levels: %d node-ticks, %d epochs, %.0f B/node allocated",
+		res.Nodes, res.Levels, res.NodeTicks, res.Epochs, perNode)
+	if res.NodeTicks < int64(n)*ticks {
+		t.Errorf("NodeTicks = %d, want >= %d", res.NodeTicks, int64(n)*ticks)
+	}
+	if res.Epochs < 2 {
+		t.Errorf("Epochs = %d, want >= 2", res.Epochs)
+	}
+	if res.GroupsPerLevel[0] != (n+63)/64 {
+		t.Errorf("GroupsPerLevel = %v", res.GroupsPerLevel)
+	}
+	if perNode > fleetBytesPerNodeBudget {
+		t.Errorf("allocated %.0f B/node, budget %d", perNode, fleetBytesPerNodeBudget)
+	}
+}
+
+// TestFleetTelemetry checks the per-level series surface on a small
+// hierarchy: static gauges, per-group budgets, the root over-budget
+// counter and the per-level epoch wall all registered and populated.
+func TestFleetTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	res, err := RunFleet(FleetConfig{
+		BudgetW:    16 * 12,
+		Nodes:      SyntheticFleet(12, 30),
+		Seed:       3,
+		Chain:      sensor.NIDefault(),
+		EpochTicks: 10,
+		Levels:     2,
+		Fanout:     4,
+		Telemetry:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs == 0 {
+		t.Fatal("no epochs completed")
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"aapm_fleet_nodes 12",
+		"aapm_fleet_levels 2",
+		"aapm_fleet_budget_watts 192",
+		`aapm_fleet_group_budget_watts{level="1",group="0"}`,
+		`aapm_fleet_group_budget_watts{level="1",group="2"}`,
+		`aapm_fleet_over_budget_intervals_total{level="root",group=""}`,
+		`aapm_fleet_epoch_wall_seconds_count{level="0"}`,
+		`aapm_fleet_epoch_wall_seconds_count{level="1"}`,
+		"aapm_fleet_reallocation_epochs_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("telemetry output missing %q", want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -61,13 +62,24 @@ func (st *stepper) shard(k int) {
 // workerPool is a persistent set of stepping goroutines, spawned once
 // per cluster run instead of per tick: a run is millions of ticks and
 // per-tick goroutine churn would dwarf the stepping work. The tick
-// handoff is a generation-counter spin barrier rather than channels —
-// a session step is a few hundred nanoseconds, so two channel
-// operations per worker per tick would cost more than the work being
+// handoff is a generation-counter barrier rather than channels — a
+// session step is a few hundred nanoseconds, so two channel operations
+// per worker per tick would cost more than the work being
 // parallelized. Workers spin (yielding to the scheduler) on the
 // generation counter, step their shard when it advances, and bump the
 // done counter; the coordinator releases a tick by advancing the
-// generation and spins until every worker reported.
+// generation and waits until every worker reported.
+//
+// The spin is bounded: after spinYields fruitless yields a waiter
+// parks on a sync.Cond (workers on wake, the coordinator on idle)
+// instead of burning its core, so a fleet-scale process with many
+// pools — or a pool idling between reallocation epochs while the
+// coordinator does post-barrier work — costs nothing while blocked.
+// The generation advance and the final done-count report happen with
+// the lock held around the matching signal, so a waiter that
+// re-checks its condition under the lock can never miss the wakeup.
+// The fast path is unchanged: an active tick hands off through the
+// same atomics and never touches the mutex.
 //
 // The sequentially consistent atomics give the happens-before edges
 // the determinism argument needs: workers' writes (session state,
@@ -75,26 +87,40 @@ func (st *stepper) shard(k int) {
 // visible to the coordinator once it observes the full count, and the
 // coordinator's writes (SetLimit, cleared stepped flags) are made
 // before the generation advance and so visible to every worker that
-// observes the new generation.
+// observes the new generation. Parking changes only who is scheduled
+// when — the barrier order, and therefore every trace byte, is
+// identical to the pure-spin pool.
 type workerPool struct {
 	workers int
 	gen     atomic.Uint64 // current tick generation
 	done    atomic.Int64  // workers finished with the current generation
 	closed  atomic.Bool   // set before the final generation advance
+
+	mu   sync.Mutex
+	wake sync.Cond // workers: gen advanced
+	idle sync.Cond // coordinator: all workers reported
 }
+
+// spinYields bounds the optimistic spin before a waiter parks: long
+// enough that a barrier partner mid-shard on another core is caught
+// without a syscall, short enough that an idle pool leaves the CPU in
+// microseconds.
+const spinYields = 64
 
 // newWorkerPool starts one goroutine per worker; each waits for the
 // generation to advance, runs fn with its worker index, and reports
 // done.
 func newWorkerPool(workers int, fn func(worker int)) *workerPool {
 	p := &workerPool{workers: workers}
+	p.wake.L = &p.mu
+	p.idle.L = &p.mu
 	for k := 0; k < workers; k++ {
 		go func(k int) {
 			var seen uint64
 			for {
 				g := p.gen.Load()
 				if g == seen {
-					runtime.Gosched()
+					p.awaitGen(seen)
 					continue
 				}
 				if p.closed.Load() {
@@ -102,26 +128,65 @@ func newWorkerPool(workers int, fn func(worker int)) *workerPool {
 				}
 				seen = g
 				fn(k)
-				p.done.Add(1)
+				if p.done.Add(1) == int64(p.workers) {
+					// Last reporter: the coordinator may have parked.
+					p.mu.Lock()
+					p.idle.Signal()
+					p.mu.Unlock()
+				}
 			}
 		}(k)
 	}
 	return p
 }
 
+// awaitGen blocks until the generation moves past seen: a bounded
+// spin first, then parked on wake.
+func (p *workerPool) awaitGen(seen uint64) {
+	for i := 0; i < spinYields; i++ {
+		runtime.Gosched()
+		if p.gen.Load() != seen {
+			return
+		}
+	}
+	p.mu.Lock()
+	for p.gen.Load() == seen {
+		p.wake.Wait()
+	}
+	p.mu.Unlock()
+}
+
 // tick runs one stepping round: release every worker, then wait for
 // all of them (the barrier).
 func (p *workerPool) tick() {
 	p.done.Store(0)
-	p.gen.Add(1)
-	for p.done.Load() != int64(p.workers) {
+	p.advance()
+	for i := 0; i < spinYields; i++ {
+		if p.done.Load() == int64(p.workers) {
+			return
+		}
 		runtime.Gosched()
 	}
+	p.mu.Lock()
+	for p.done.Load() != int64(p.workers) {
+		p.idle.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// advance publishes the next generation and wakes any parked workers.
+// The advance happens under the lock so a worker that checked the
+// generation and decided to park cannot miss the broadcast.
+func (p *workerPool) advance() {
+	p.mu.Lock()
+	p.gen.Add(1)
+	p.wake.Broadcast()
+	p.mu.Unlock()
 }
 
 // close terminates the workers. The pool must be idle (no tick in
 // flight).
 func (p *workerPool) close() {
 	p.closed.Store(true)
-	p.gen.Add(1)
+	p.advance()
 }

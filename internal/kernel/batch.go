@@ -150,12 +150,29 @@ type BatchState struct {
 	obs   []counters.Sample // governor-visible sample (faulted runs only)
 }
 
+// behavKey identifies one node's pure-value behavior cache: nodes
+// sharing a p-state table and a phase list (fleet runs repeat a few
+// workload profiles across 10⁵+ nodes) share one cache instead of
+// each carrying its own copy.
+type behavKey struct {
+	table  *pstate.Table
+	phase0 *phase.Params
+	n      int
+}
+
 // NewBatch validates the nodes and builds a batch ready to step. Each
 // node is initialized exactly as machine.NewSession initializes a
 // session — same actuator positioning, same RNG and injector seeds —
 // except that no acquisition marks are written to the machines'
 // sensor.Recorder (the batch engine bypasses the shared acquisition
 // stream; see DESIGN.md).
+//
+// The per-node footprint is kept lean for fleet-scale batches: the
+// ~5 KB rand.Rand source is allocated only for nodes that can draw
+// from it (workload jitter or chain noise — without either, the
+// staged engine never consumes the stream, so a nil RNG is
+// bit-identical), and the p-state/behavior caches are interned per
+// (table, phase list) so homogeneous fleets share them.
 func NewBatch(nodes []BatchNode, opts BatchOptions) (*BatchState, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("kernel: batch needs at least one node")
@@ -211,6 +228,9 @@ func NewBatch(nodes []BatchNode, opts BatchOptions) (*BatchState, error) {
 		tinfo:      make([]machine.TickInfo, n),
 		obs:        make([]counters.Sample, n),
 	}
+	statesCache := make(map[*pstate.Table][]pstate.PState)
+	freqCache := make(map[*pstate.Table][]float64)
+	behavCache := make(map[behavKey][]phase.Behavior)
 	anyHooks := false
 	for i, node := range nodes {
 		m, w, g := node.Machine, node.Workload, node.Governor
@@ -249,10 +269,20 @@ func NewBatch(nodes []BatchNode, opts BatchOptions) (*BatchState, error) {
 		b.truths[i] = m.Truth()
 		b.govs[i] = g
 		b.acts[i] = act
-		b.rngs[i] = rand.New(rand.NewSource(m.SessionSeed(w.Name)))
+		if w.JitterPct > 0 || m.Chain().NoiseStdW > 0 {
+			// Only jitter draws and noise draws consume the stream;
+			// without either the RNG is dead weight (~5 KB/node at
+			// fleet scale) and a nil RNG is bit-identical.
+			b.rngs[i] = rand.New(rand.NewSource(m.SessionSeed(w.Name)))
+		}
 		b.chains[i] = m.Chain().Prepare()
 		b.tables[i] = m.Table()
-		b.states[i] = m.Table().States()
+		if sts, ok := statesCache[b.tables[i]]; ok {
+			b.states[i] = sts
+		} else {
+			b.states[i] = m.Table().States()
+			statesCache[b.tables[i]] = b.states[i]
+		}
 		b.phases[i] = w.Phases
 		b.period[i] = m.SamplePeriod()
 		b.perSec[i] = m.SamplePeriod().Seconds()
@@ -270,17 +300,35 @@ func NewBatch(nodes []BatchNode, opts BatchOptions) (*BatchState, error) {
 
 		// Behavior cache: Params.At is pure in (phase, p-state), so the
 		// staged engine's per-tick evaluation can be precomputed without
-		// changing a single float bit.
+		// changing a single float bit — and shared across every node
+		// with the same table and phase list.
 		sts := b.states[i]
-		b.freqHz[i] = make([]float64, len(sts))
-		for si, ps := range sts {
-			b.freqHz[i][si] = ps.FreqHz()
-		}
-		b.behav[i] = make([]phase.Behavior, len(sts)*len(w.Phases))
-		for si, ps := range sts {
-			for pi, p := range w.Phases {
-				b.behav[i][si*len(w.Phases)+pi] = p.At(ps)
+		if f, ok := freqCache[b.tables[i]]; ok {
+			b.freqHz[i] = f
+		} else {
+			f = make([]float64, len(sts))
+			for si, ps := range sts {
+				f[si] = ps.FreqHz()
 			}
+			b.freqHz[i] = f
+			freqCache[b.tables[i]] = f
+		}
+		var ph0 *phase.Params
+		if len(w.Phases) > 0 {
+			ph0 = &w.Phases[0]
+		}
+		bk := behavKey{table: b.tables[i], phase0: ph0, n: len(w.Phases)}
+		if bv, ok := behavCache[bk]; ok {
+			b.behav[i] = bv
+		} else {
+			bv = make([]phase.Behavior, len(sts)*len(w.Phases))
+			for si, ps := range sts {
+				for pi, p := range w.Phases {
+					bv[si*len(w.Phases)+pi] = p.At(ps)
+				}
+			}
+			b.behav[i] = bv
+			behavCache[bk] = bv
 		}
 
 		b.curIdx[i] = int32(act.CurrentIndex())

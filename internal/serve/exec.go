@@ -129,6 +129,9 @@ func (s *Service) runCluster(ctx context.Context, j *Job) (Result, *trace.Run, e
 	for i := range nodes {
 		nodes[i] = cluster.Node{Name: fmt.Sprintf("%s-%d", js.Workload, i), Workload: w}
 	}
+	if js.Levels > 1 {
+		return s.runFleet(ctx, j, nodes)
+	}
 	res, err := cluster.RunContext(ctx, cluster.Config{
 		BudgetW:   js.BudgetW,
 		Nodes:     nodes,
@@ -166,6 +169,59 @@ func (s *Service) runCluster(ctx context.Context, j *Job) (Result, *trace.Run, e
 		out.EnergyJ += run.EnergyJ
 		out.Transitions += run.Transitions
 		out.Ticks += len(run.Rows)
+	}
+	out.DurationSec = res.Makespan.Seconds()
+	return out, nil, nil
+}
+
+// fleetNodeListCap bounds the per-node entries a fleet job's result
+// carries: a 10⁵-node result would otherwise be megabytes of JSON the
+// caller almost never wants. The aggregates always cover every node.
+const fleetNodeListCap = 256
+
+// runFleet co-simulates the nodes under the hierarchical fleet
+// coordinator (cluster.RunFleetContext). Per-interval traces are not
+// retained — fleet jobs report aggregates plus a capped per-node
+// summary list.
+func (s *Service) runFleet(ctx context.Context, j *Job, nodes []cluster.Node) (Result, *trace.Run, error) {
+	js := j.Spec
+	res, err := cluster.RunFleetContext(ctx, cluster.FleetConfig{
+		BudgetW:   js.BudgetW,
+		Nodes:     nodes,
+		Seed:      js.Seed,
+		Chain:     chainFor(js.Chain),
+		Levels:    js.Levels,
+		Fanout:    js.Fanout,
+		Telemetry: s.reg,
+	})
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Result{}, nil, cerr
+		}
+		return Result{}, nil, err
+	}
+	out := Result{
+		ID:             j.ID,
+		Workload:       js.Workload,
+		Policy:         fmt.Sprintf("fleet-pm/L%d", res.Levels),
+		MakespanSec:    res.Makespan.Seconds(),
+		MachineSeconds: res.MachineSeconds,
+		PeakTotalW:     res.PeakTotalW,
+		Ticks:          int(res.NodeTicks),
+	}
+	for i, run := range res.Runs {
+		out.EnergyJ += run.EnergyJ
+		out.Transitions += run.Transitions
+		if i >= fleetNodeListCap {
+			continue
+		}
+		out.Nodes = append(out.Nodes, NodeResult{
+			Name:        res.Names[i],
+			DurationSec: run.Duration.Seconds(),
+			EnergyJ:     run.EnergyJ,
+			AvgPowerW:   run.AvgPowerW(),
+			Transitions: run.Transitions,
+		})
 	}
 	out.DurationSec = res.Makespan.Seconds()
 	return out, nil, nil

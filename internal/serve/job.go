@@ -45,6 +45,13 @@ type JobSpec struct {
 	// BudgetW is the cluster's global power cap; required when
 	// Nodes > 1, must be 0 otherwise.
 	BudgetW float64 `json:"budget_w,omitempty"`
+	// Levels selects the hierarchical fleet coordinator for cluster
+	// jobs: 0/1 is the flat coordinator, >1 an allocation tree of that
+	// depth (cluster.FleetConfig.Levels). Only valid when Nodes > 1.
+	Levels int `json:"levels,omitempty"`
+	// Fanout is the allocation tree's children-per-group bound; 0
+	// selects the fleet default (64). Only valid when Levels > 1.
+	Fanout int `json:"fanout,omitempty"`
 	// Chain selects the measurement chain: "ni" (default, the
 	// simulated DAQ with gain error/noise/quantization) or "ideal".
 	Chain string `json:"chain,omitempty"`
@@ -92,7 +99,8 @@ const (
 func (js JobSpec) Validate() error {
 	if js.Experiment != "" {
 		if js.Workload != "" || js.Governor != "" || js.Nodes != 0 ||
-			js.BudgetW != 0 || js.Chain != "" || js.Thermal || js.Iterations != 0 || js.MaxTicks != 0 {
+			js.BudgetW != 0 || js.Chain != "" || js.Thermal || js.Iterations != 0 ||
+			js.MaxTicks != 0 || js.Levels != 0 || js.Fanout != 0 {
 			return fmt.Errorf("serve: experiment job %q takes only seed and scale", js.Experiment)
 		}
 		if js.Scale < 0 {
@@ -144,8 +152,22 @@ func (js JobSpec) Validate() error {
 		if js.MaxTicks != 0 {
 			return fmt.Errorf("serve: max_ticks applies only to single-machine jobs")
 		}
-	} else if js.BudgetW != 0 {
-		return fmt.Errorf("serve: budget_w applies only to cluster jobs (nodes > 1)")
+		if js.Levels < 0 || js.Levels > 16 {
+			return fmt.Errorf("serve: levels %d out of range [0, 16]", js.Levels)
+		}
+		if js.Fanout != 0 && js.Levels <= 1 {
+			return fmt.Errorf("serve: fanout applies only to hierarchical jobs (levels > 1)")
+		}
+		if js.Fanout < 0 || js.Fanout == 1 {
+			return fmt.Errorf("serve: fanout must be 0 (default) or >= 2")
+		}
+	} else {
+		if js.BudgetW != 0 {
+			return fmt.Errorf("serve: budget_w applies only to cluster jobs (nodes > 1)")
+		}
+		if js.Levels != 0 || js.Fanout != 0 {
+			return fmt.Errorf("serve: levels/fanout apply only to cluster jobs (nodes > 1)")
+		}
 	}
 	return nil
 }

@@ -518,6 +518,43 @@ func TestClusterAndExperimentJobs(t *testing.T) {
 	}
 }
 
+// TestFleetJob routes a levels>1 cluster job through the hierarchical
+// fleet coordinator and checks the aggregate-only result shape.
+func TestFleetJob(t *testing.T) {
+	_, ts := newTestService(t, Config{})
+	_, fl := postJob(t, ts.URL, JobSpec{
+		Workload: "gzip", Seed: 7, Nodes: 8, BudgetW: 120,
+		Levels: 2, Fanout: 4, Iterations: 1,
+	})
+	if st := waitTerminal(t, ts.URL, fl.ID); st.State != StateDone {
+		t.Fatalf("fleet job = %s (%s)", st.State, st.Error)
+	}
+	_, _, body := getBody(t, ts.URL+"/api/jobs/"+fl.ID+"/result")
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "fleet-pm/L2" {
+		t.Errorf("policy = %q, want fleet-pm/L2", res.Policy)
+	}
+	if len(res.Nodes) != 8 || res.MakespanSec <= 0 || res.PeakTotalW <= 0 ||
+		res.EnergyJ <= 0 || res.Ticks <= 0 {
+		t.Errorf("fleet result = %+v", res)
+	}
+	// Fleet jobs retain no per-interval trace.
+	if code, _, _ := getBody(t, ts.URL+"/api/jobs/"+fl.ID+"/result?format=csv"); code != http.StatusBadRequest {
+		t.Errorf("fleet csv = %d, want 400", code)
+	}
+
+	// Validation: fanout without levels, and levels out of range.
+	if code, _ := postJob(t, ts.URL, JobSpec{Workload: "gzip", Nodes: 4, BudgetW: 60, Fanout: 4}); code != http.StatusBadRequest {
+		t.Errorf("fanout-without-levels = %d, want 400", code)
+	}
+	if code, _ := postJob(t, ts.URL, JobSpec{Workload: "gzip", Nodes: 4, BudgetW: 60, Levels: 99}); code != http.StatusBadRequest {
+		t.Errorf("levels=99 = %d, want 400", code)
+	}
+}
+
 // TestAcceptance32Jobs is the issue's acceptance scenario: 32 jobs
 // against queue depth 8 with 4 workers either complete or are rejected
 // with 429, deterministically — the workers are gated so admission
