@@ -74,6 +74,32 @@ serve-smoke:
 serve-bench:
 	go test -run '^$$' -bench BenchmarkServeSubmitLatency -benchtime 2s ./internal/serve/
 
+# Sustained-load smoke: aapm-loadgen drives a bounded two-tenant
+# aapm-serve with open-loop arrivals and gates on zero 5xx plus a p99
+# submit-latency bound. Short by design; lengthen -duration and raise
+# -rate for a real soak (see BENCH_serve.json for the recorded
+# fairness run).
+SERVE_LOAD_ADDR ?= 127.0.0.1:18081
+.PHONY: serve-load-smoke
+serve-load-smoke:
+	go build -o /tmp/aapm-serve ./cmd/aapm-serve
+	go build -o /tmp/aapm-loadgen ./cmd/aapm-loadgen
+	@set -e; \
+	/tmp/aapm-serve -addr $(SERVE_LOAD_ADDR) -workers 2 -queue 512 \
+		-max-jobs 128 -max-result-bytes 16777216 -tenant-weights acme=2,dunder=1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do curl -sf $(SERVE_LOAD_ADDR)/metrics >/dev/null && break; sleep 0.1; done; \
+	/tmp/aapm-loadgen -addr http://$(SERVE_LOAD_ADDR) -rate 100 -duration 5s \
+		-profile flash -tenants acme=2,dunder=1 -iterations 10 -seed-base 900000 \
+		-server-pid $$pid -settle 60s -max-submit-p99 250ms -json /tmp/loadgen-smoke.json; \
+	echo "serve load smoke OK"
+
+# Sustained-churn regression (bounded store under ≫MaxJobs distinct
+# specs) under the race detector, exactly as CI runs it.
+.PHONY: serve-churn
+serve-churn:
+	go test -race -run 'TestSustainedChurn|TestEvictionPrefersLRUAndSkipsLive|TestMaxResultBytesEviction' -count=1 ./internal/serve/
+
 # Batch tick kernel throughput versus the staged reference paths; the
 # committed BENCH_tick.json tracks the trajectory. Append a datapoint
 # with `go run ./cmd/aapm-tickbench -json`.

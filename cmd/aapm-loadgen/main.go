@@ -1,0 +1,566 @@
+// Command aapm-loadgen drives a running aapm-serve instance with
+// open-loop load and reports latency, completion-fairness, and error
+// statistics. Open-loop means arrivals follow the configured rate
+// profile regardless of how fast the server answers — the harness
+// that exposes queueing collapse, unlike closed-loop clients that
+// politely slow down with the server.
+//
+// Usage:
+//
+//	aapm-loadgen [-addr http://localhost:8080] [-rate 50] [-duration 10s]
+//	             [-profile steady|flash|diurnal] [-tenants acme=2,dunder=1]
+//	             [-server-pid N] [-json out.json]
+//	             [-max-submit-p99 250ms] [-fairness-tol 0.10]
+//
+// Each submission is a distinct spec (the seed increments), so every
+// accepted job exercises the full execute path rather than the result
+// cache. Submissions rotate uniformly across the -tenants list; under
+// saturation the server's weighted fair-share drain shows up as
+// per-tenant completion shares tracking the configured weights.
+//
+// Gates (any failure exits 1, for CI):
+//
+//	any HTTP 5xx or transport error   always fatal
+//	-max-submit-p99 > 0               p99 submit latency bound
+//	-fairness-tol > 0                 per-tenant completion share within
+//	                                  tol of weight/Σweights
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aapm/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "base URL of the aapm-serve instance")
+	rate := flag.Float64("rate", 50, "mean arrival rate, submissions/sec across all tenants")
+	duration := flag.Duration("duration", 10*time.Second, "arrival window")
+	profile := flag.String("profile", "steady", "arrival profile: steady, flash (4x crowd mid-run), diurnal (sinusoid)")
+	tenants := flag.String("tenants", "", "tenant mix as name=weight pairs, e.g. acme=2,dunder=1; empty = single default tenant")
+	workload := flag.String("workload", "ammp", "suite workload each job runs")
+	governor := flag.String("governor", "pm:limit=14.5", "governor spec for each job")
+	iterations := flag.Int("iterations", 1, "iterations per job (keep small for load runs)")
+	seedBase := flag.Int64("seed-base", 1, "first seed; increments per submission so every spec is distinct")
+	settle := flag.Duration("settle", 15*time.Second, "post-window bound for outstanding jobs to finish")
+	serverPID := flag.Int("server-pid", 0, "aapm-serve PID; records peak RSS from /proc/<pid>/status VmHWM")
+	jsonOut := flag.String("json", "", "write the report JSON to this file instead of stdout")
+	maxSubmitP99 := flag.Duration("max-submit-p99", 0, "fail if p99 submit latency exceeds this (0 = no gate)")
+	fairnessTol := flag.Float64("fairness-tol", 0, "fail if a tenant's completion share strays further than this from its weight share (0 = no gate)")
+	flag.Parse()
+
+	base := *addr
+	if strings.HasPrefix(base, ":") {
+		base = "http://localhost" + base
+	}
+	mix, err := parseTenants(*tenants)
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := profileFunc(*profile)
+	if err != nil {
+		fatal(err)
+	}
+
+	g := &loadgen{
+		base: base,
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			// The poller fleet holds one outstanding GET per accepted
+			// job; without a deep idle pool every poll opens a fresh
+			// connection and the harness measures dialing, not serving.
+			Transport: &http.Transport{MaxIdleConnsPerHost: 256},
+		},
+		spec: serve.JobSpec{
+			Workload:   *workload,
+			Governor:   *governor,
+			Iterations: *iterations,
+		},
+		tenants: mix,
+		stats:   newStats(mix),
+	}
+
+	fmt.Fprintf(os.Stderr, "aapm-loadgen: %s profile, %.0f/s for %s against %s (%d tenant(s))\n",
+		*profile, *rate, *duration, base, max(1, len(mix)))
+	windowEnd := g.run(*rate, *duration, prof, *seedBase)
+	g.await(*settle)
+	report := g.stats.report(*profile, *rate, *duration, peakRSS(*serverPID), windowEnd)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, out, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "aapm-loadgen: report written to %s\n", *jsonOut)
+	} else {
+		os.Stdout.Write(out)
+	}
+
+	if msg := gate(report, *maxSubmitP99, *fairnessTol); msg != "" {
+		fatal(fmt.Errorf("gate failed: %s", msg))
+	}
+	fmt.Fprintf(os.Stderr, "aapm-loadgen: ok — %d submitted, %d accepted, %d completed, %d rejected (429), 0 failures\n",
+		report.Submitted, report.Accepted, report.Completed, report.Rejected429)
+}
+
+// tenant is one entry of the submission mix.
+type tenant struct {
+	name   string
+	weight int
+}
+
+func parseTenants(s string) ([]tenant, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []tenant
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -tenants entry %q: want name=weight", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -tenants weight %q: want integer >= 1", val)
+		}
+		out = append(out, tenant{name, w})
+	}
+	return out, nil
+}
+
+// profileFunc maps a profile name to an instantaneous-rate multiplier
+// over normalized run time t in [0, 1). Every profile integrates to
+// roughly 1 so -rate stays the mean.
+func profileFunc(name string) (func(t float64) float64, error) {
+	switch name {
+	case "steady":
+		return func(float64) float64 { return 1 }, nil
+	case "flash":
+		// Baseline with a 4x flash crowd across the middle fifth:
+		// mean = 0.8*0.4 + 0.2*4*0.8... keep it simple: 0.8 base, 2.0
+		// spike over [0.4, 0.6) → mean 0.8*0.8 + 0.2*2.0 = 1.04.
+		return func(t float64) float64 {
+			if t >= 0.4 && t < 0.6 {
+				return 2.0
+			}
+			return 0.8
+		}, nil
+	case "diurnal":
+		// Half-sine "day": quiet edges, busy middle; mean 1.
+		return func(t float64) float64 {
+			return (math.Pi / 2) * math.Sin(math.Pi*t)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown -profile %q (want steady, flash, or diurnal)", name)
+	}
+}
+
+// pending is one accepted job awaiting completion.
+type pending struct {
+	id       string
+	tenant   string
+	submitAt time.Time
+}
+
+type loadgen struct {
+	base    string
+	client  *http.Client
+	spec    serve.JobSpec
+	tenants []tenant
+	stats   *stats
+
+	wg          sync.WaitGroup // in-flight submissions
+	poll        sync.WaitGroup // completion pollers
+	outstanding atomic.Int64   // accepted jobs not yet terminal
+}
+
+// run generates the open-loop arrival schedule: it walks normalized
+// time, fires each submission in its own goroutine at its scheduled
+// instant, and never waits for responses. It returns the window-end
+// instant, the cutoff for in-window completion accounting.
+func (g *loadgen) run(rate float64, window time.Duration, prof func(float64) float64, seedBase int64) time.Time {
+	start := time.Now()
+	seed := seedBase
+	next := start
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= window {
+			break
+		}
+		t := float64(elapsed) / float64(window)
+		r := rate * prof(t)
+		if r < 1e-6 {
+			// Profile trough: idle forward a step.
+			next = next.Add(10 * time.Millisecond)
+		} else {
+			next = next.Add(time.Duration(float64(time.Second) / r))
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		js := g.spec
+		js.Seed = seed
+		if len(g.tenants) > 0 {
+			js.Tenant = g.tenants[int(seed-seedBase)%len(g.tenants)].name
+		}
+		seed++
+		g.wg.Add(1)
+		go g.submit(js)
+	}
+	end := start.Add(window)
+	g.wg.Wait()
+	return end
+}
+
+func (g *loadgen) submit(js serve.JobSpec) {
+	defer g.wg.Done()
+	body, err := json.Marshal(js)
+	if err != nil {
+		g.stats.transportError(js.Tenant, err)
+		return
+	}
+	t0 := time.Now()
+	resp, err := g.client.Post(g.base+"/api/jobs", "application/json", bytes.NewReader(body))
+	lat := time.Since(t0)
+	if err != nil {
+		g.stats.transportError(js.Tenant, err)
+		return
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ID string `json:"id"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&st)
+	g.stats.submitted(js.Tenant, resp.StatusCode, lat)
+	if (resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK) && st.ID != "" {
+		g.poll.Add(1)
+		go g.awaitJob(pending{id: st.ID, tenant: js.Tenant, submitAt: t0})
+	}
+}
+
+// awaitJob polls one job until it reaches a terminal state. The poll
+// interval backs off with the number of outstanding jobs so a deep
+// backlog doesn't bury the server under status GETs and distort the
+// very drain being measured.
+func (g *loadgen) awaitJob(p pending) {
+	defer g.poll.Done()
+	g.outstanding.Add(1)
+	defer g.outstanding.Add(-1)
+	for {
+		resp, err := g.client.Get(g.base + "/api/jobs/" + p.id)
+		if err != nil {
+			g.stats.transportError(p.tenant, err)
+			return
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			// Evicted before we saw it finish: under churny load that is
+			// bounded-store behavior, not an error. Count it completed
+			// without a latency sample.
+			g.stats.evictedBeforeSeen(p.tenant)
+			return
+		}
+		if err == nil {
+			switch st.State {
+			case "done":
+				g.stats.completed(p.tenant, time.Since(p.submitAt))
+				return
+			case "failed", "canceled", "aborted":
+				g.stats.terminalNotDone(p.tenant, st.State)
+				return
+			}
+		}
+		wait := 50*time.Millisecond + time.Duration(g.outstanding.Load())*time.Millisecond
+		if wait > 2*time.Second {
+			wait = 2 * time.Second
+		}
+		time.Sleep(wait)
+	}
+}
+
+// await bounds the post-window wait for outstanding pollers.
+func (g *loadgen) await(settle time.Duration) {
+	done := make(chan struct{})
+	go func() { g.poll.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(settle):
+		fmt.Fprintln(os.Stderr, "aapm-loadgen: settle window expired with jobs still outstanding")
+	}
+}
+
+// --- statistics ---------------------------------------------------
+
+type tenantStats struct {
+	Weight            int `json:"weight"`
+	Submitted         int `json:"submitted"`
+	Accepted          int `json:"accepted"`
+	Rejected429       int `json:"rejected_429"`
+	Completed         int `json:"completed"`
+	Failed            int `json:"failed"`
+	CompletedInWindow int `json:"completed_in_window"`
+	// CompletionShare is this tenant's fraction of IN-WINDOW
+	// completions. The post-window settle drains the whole backlog, so
+	// total completions converge to the accepted mix no matter how the
+	// scheduler ordered them; only the in-window drain shows the
+	// weighted fair share.
+	CompletionShare float64 `json:"completion_share"`
+}
+
+type latencySummary struct {
+	Samples int     `json:"samples"`
+	P50ms   float64 `json:"p50_ms"`
+	P99ms   float64 `json:"p99_ms"`
+	P999ms  float64 `json:"p999_ms"`
+}
+
+type reportT struct {
+	Profile      string                  `json:"profile"`
+	TargetRate   float64                 `json:"target_rate_per_sec"`
+	WindowSec    float64                 `json:"window_sec"`
+	Submitted    int                     `json:"submitted"`
+	Accepted     int                     `json:"accepted"`
+	CacheHits    int                     `json:"cache_hits"`
+	Rejected429  int                     `json:"rejected_429"`
+	HTTP5xx      int                     `json:"http_5xx"`
+	OtherErrors  int                     `json:"other_errors"`
+	Completed    int                     `json:"completed"`
+	Submit       latencySummary          `json:"submit_latency"`
+	Completion   latencySummary          `json:"completion_latency"`
+	Tenants      map[string]*tenantStats `json:"tenants,omitempty"`
+	PeakRSSBytes int64                   `json:"peak_rss_bytes,omitempty"`
+	FirstError   string                  `json:"first_error,omitempty"`
+}
+
+// completion is one finished job's accounting sample.
+type completion struct {
+	tenant string
+	at     time.Time
+}
+
+type stats struct {
+	mu          sync.Mutex
+	perTenant   map[string]*tenantStats
+	submitLat   []time.Duration
+	completeLat []time.Duration
+	completions []completion
+	cacheHits   int
+	http5xx     int
+	otherErrors int
+	firstError  string
+}
+
+func newStats(mix []tenant) *stats {
+	s := &stats{perTenant: map[string]*tenantStats{}}
+	for _, t := range mix {
+		s.perTenant[t.name] = &tenantStats{Weight: t.weight}
+	}
+	return s
+}
+
+func (s *stats) tenant(name string) *tenantStats {
+	if name == "" {
+		name = "default"
+	}
+	ts := s.perTenant[name]
+	if ts == nil {
+		ts = &tenantStats{Weight: 1}
+		s.perTenant[name] = ts
+	}
+	return ts
+}
+
+func (s *stats) submitted(tenant string, code int, lat time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.tenant(tenant)
+	ts.Submitted++
+	switch {
+	case code == http.StatusAccepted:
+		ts.Accepted++
+		s.submitLat = append(s.submitLat, lat)
+	case code == http.StatusOK:
+		ts.Accepted++
+		s.cacheHits++
+		s.submitLat = append(s.submitLat, lat)
+	case code == http.StatusTooManyRequests:
+		ts.Rejected429++
+	case code >= 500:
+		s.http5xx++
+		s.note(fmt.Sprintf("HTTP %d on submit (tenant %q)", code, tenant))
+	default:
+		s.otherErrors++
+		s.note(fmt.Sprintf("HTTP %d on submit (tenant %q)", code, tenant))
+	}
+}
+
+func (s *stats) completed(tenant string, lat time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant(tenant).Completed++
+	s.completeLat = append(s.completeLat, lat)
+	s.completions = append(s.completions, completion{tenant, time.Now()})
+}
+
+func (s *stats) evictedBeforeSeen(tenant string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant(tenant).Completed++
+	s.completions = append(s.completions, completion{tenant, time.Now()})
+}
+
+func (s *stats) terminalNotDone(tenant, state string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenant(tenant).Failed++
+	s.note(fmt.Sprintf("job ended %s (tenant %q)", state, tenant))
+}
+
+func (s *stats) transportError(tenant string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.otherErrors++
+	s.note(err.Error())
+	_ = tenant
+}
+
+func (s *stats) note(msg string) {
+	if s.firstError == "" {
+		s.firstError = msg
+	}
+}
+
+func (s *stats) report(profile string, rate float64, window time.Duration, rss int64, windowEnd time.Time) *reportT {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &reportT{
+		Profile:      profile,
+		TargetRate:   rate,
+		WindowSec:    window.Seconds(),
+		CacheHits:    s.cacheHits,
+		HTTP5xx:      s.http5xx,
+		OtherErrors:  s.otherErrors,
+		Submit:       summarize(s.submitLat),
+		Completion:   summarize(s.completeLat),
+		PeakRSSBytes: rss,
+		FirstError:   s.firstError,
+	}
+	for _, ts := range s.perTenant {
+		r.Submitted += ts.Submitted
+		r.Accepted += ts.Accepted
+		r.Rejected429 += ts.Rejected429
+		r.Completed += ts.Completed
+	}
+	inWindow := 0
+	for _, c := range s.completions {
+		if !c.at.After(windowEnd) {
+			s.tenant(c.tenant).CompletedInWindow++
+			inWindow++
+		}
+	}
+	for _, ts := range s.perTenant {
+		if inWindow > 0 {
+			ts.CompletionShare = float64(ts.CompletedInWindow) / float64(inWindow)
+		}
+	}
+	if len(s.perTenant) > 0 {
+		r.Tenants = s.perTenant
+	}
+	return r
+}
+
+func summarize(lats []time.Duration) latencySummary {
+	if len(lats) == 0 {
+		return latencySummary{}
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	return latencySummary{
+		Samples: len(sorted),
+		P50ms:   pick(0.50),
+		P99ms:   pick(0.99),
+		P999ms:  pick(0.999),
+	}
+}
+
+// gate returns a failure message, or "" when every enabled gate holds.
+func gate(r *reportT, maxSubmitP99 time.Duration, fairnessTol float64) string {
+	if r.HTTP5xx > 0 {
+		return fmt.Sprintf("%d HTTP 5xx responses (first: %s)", r.HTTP5xx, r.FirstError)
+	}
+	if r.OtherErrors > 0 {
+		return fmt.Sprintf("%d transport/unexpected errors (first: %s)", r.OtherErrors, r.FirstError)
+	}
+	if maxSubmitP99 > 0 && r.Submit.P99ms > float64(maxSubmitP99)/float64(time.Millisecond) {
+		return fmt.Sprintf("submit p99 %.1fms exceeds bound %s", r.Submit.P99ms, maxSubmitP99)
+	}
+	if fairnessTol > 0 && len(r.Tenants) > 1 {
+		sumW := 0
+		for _, ts := range r.Tenants {
+			sumW += ts.Weight
+		}
+		for name, ts := range r.Tenants {
+			want := float64(ts.Weight) / float64(sumW)
+			if math.Abs(ts.CompletionShare-want) > fairnessTol {
+				return fmt.Sprintf("tenant %q completion share %.3f strays >%.2f from weight share %.3f",
+					name, ts.CompletionShare, fairnessTol, want)
+			}
+		}
+	}
+	return ""
+}
+
+// peakRSS reads VmHWM (peak resident set) from /proc/<pid>/status.
+func peakRSS(pid int) int64 {
+	if pid <= 0 {
+		return 0
+	}
+	b, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			kb, err := strconv.ParseInt(fields[1], 10, 64)
+			if err == nil {
+				return kb << 10
+			}
+		}
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aapm-loadgen:", err)
+	os.Exit(1)
+}

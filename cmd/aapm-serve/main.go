@@ -6,7 +6,9 @@
 //
 // Usage:
 //
-//	aapm-serve [-addr :8080] [-queue 64] [-workers 4] [-job-timeout 2m] [-pprof]
+//	aapm-serve [-addr :8080] [-queue 64] [-workers 4] [-job-timeout 2m]
+//	           [-max-jobs N] [-max-result-bytes N] [-tenant-weights a=2,b=1]
+//	           [-tenant-rate R] [-tenant-burst B] [-pprof]
 //
 // Quick start:
 //
@@ -29,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -44,15 +47,30 @@ func main() {
 	workers := flag.Int("workers", 4, "execution pool cap; effective pool is min(GOMAXPROCS, workers)")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job execution deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for running jobs")
+	maxJobs := flag.Int("max-jobs", 0, "bound on retained jobs; terminal jobs evict LRU beyond it (0 = unbounded)")
+	maxResultBytes := flag.Int64("max-result-bytes", 0, "bound on retained result bytes across Done jobs (0 = unbounded)")
+	tenantWeights := flag.String("tenant-weights", "", "fair-share weights as name=w pairs, e.g. acme=2,dunder=1 (unlisted tenants weigh 1)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant intake rate in new submissions/sec (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant intake burst; 0 derives max(1, 2*rate)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
+	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		fatal(err)
+	}
+
 	reg := telemetry.NewRegistry()
 	svc := serve.New(serve.Config{
-		QueueDepth: *queue,
-		Workers:    *workers,
-		JobTimeout: *jobTimeout,
-		Telemetry:  reg,
+		QueueDepth:       *queue,
+		Workers:          *workers,
+		JobTimeout:       *jobTimeout,
+		MaxJobs:          *maxJobs,
+		MaxResultBytes:   *maxResultBytes,
+		TenantWeights:    weights,
+		TenantRatePerSec: *tenantRate,
+		TenantBurst:      *tenantBurst,
+		Telemetry:        reg,
 	})
 
 	// One mux: the job API, the dashboard (which also serves /metrics
@@ -92,6 +110,27 @@ func main() {
 	if err := svc.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "aapm-serve: drain timed out; running jobs aborted")
 	}
+}
+
+// parseWeights turns "acme=2,dunder=1" into a weight map. Empty input
+// means every tenant weighs 1 (plain round-robin).
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q: want name=weight", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -tenant-weights weight %q: want integer >= 1", val)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -19,7 +19,8 @@ import (
 // channel are dropped (progress ticks are samples, not a transcript).
 type eventLog struct {
 	mu     sync.Mutex
-	ring   [][]byte // last cap lines, oldest first
+	ring   [][]byte // circular once full: oldest line at head
+	head   int      // index of the oldest line when the ring is full
 	cap    int
 	closed bool
 	subs   map[chan []byte]struct{}
@@ -30,18 +31,22 @@ func newEventLog(capacity int) *eventLog {
 }
 
 // publish appends one marshaled line to the ring and offers it to
-// every live subscriber. No-op once closed.
+// every live subscriber. No-op once closed. Once the ring is full each
+// publish overwrites the oldest slot and advances the head index —
+// O(1), where the round-1 ring shifted the whole buffer with an
+// O(capacity) copy on every line.
 func (l *eventLog) publish(line []byte) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return
 	}
-	if len(l.ring) == l.cap {
-		copy(l.ring, l.ring[1:])
-		l.ring = l.ring[:l.cap-1]
+	if len(l.ring) < l.cap {
+		l.ring = append(l.ring, line)
+	} else {
+		l.ring[l.head] = line
+		l.head = (l.head + 1) % l.cap
 	}
-	l.ring = append(l.ring, line)
 	for ch := range l.subs {
 		select {
 		case ch <- line:
@@ -69,7 +74,9 @@ func (l *eventLog) close() {
 func (l *eventLog) subscribe() (replay [][]byte, ch chan []byte, cancel func()) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	replay = append([][]byte(nil), l.ring...)
+	replay = make([][]byte, 0, len(l.ring))
+	replay = append(replay, l.ring[l.head:]...)
+	replay = append(replay, l.ring[:l.head]...)
 	ch = make(chan []byte, 64)
 	if l.closed {
 		close(ch)

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Handler returns the service's REST surface:
@@ -50,10 +52,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, created, err := s.Submit(js)
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		// The backpressure contract: a full queue answers immediately
-		// and names a retry horizon instead of buffering.
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited):
+		// The backpressure contract: a full queue or an over-rate
+		// tenant answers immediately and names a retry horizon derived
+		// from the observed drain rate (mean job wall × backlog ÷
+		// workers, clamped to [1, 60] s) instead of buffering.
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter()/time.Second)))
 		httpError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.Is(err, ErrClosed):
@@ -76,6 +80,19 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	id, sub, _ := strings.Cut(rest, "/")
 	j, ok := s.Get(id)
 	if !ok {
+		// An evicted job is gone but not forgotten: the 404 names the
+		// eviction so callers can distinguish "never existed" from
+		// "aged out — resubmit the spec to recompute it".
+		if reason, evicted := s.EvictedReason(id); evicted {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error":   "job evicted from the bounded store (" + reason + "); resubmit the spec to re-run it",
+				"evicted": true,
+				"reason":  reason,
+			})
+			return
+		}
 		httpError(w, http.StatusNotFound, ErrUnknownJob.Error())
 		return
 	}

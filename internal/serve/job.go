@@ -65,6 +65,14 @@ type JobSpec struct {
 	// Scale is the experiment job's workload ScaleDown divisor;
 	// 0/1 is full length. Must be 0 for workload jobs.
 	Scale int `json:"scale,omitempty"`
+	// Tenant attributes the job to one client population for the
+	// fair-share scheduler and the intake rate limiter; empty is the
+	// shared default tenant (and, being omitempty, leaves untenanted
+	// specs' canonical bytes — and therefore their cache keys — exactly
+	// as they were before tenancy existed). The tenant participates in
+	// the content address, so identical specs from two tenants are
+	// distinct jobs with separately attributed results.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Normalize returns the spec with defaults made explicit, so that
@@ -97,6 +105,9 @@ const (
 // Validate checks a normalized spec. The governor spec is fully
 // parsed, so an invalid job is rejected at submission, never queued.
 func (js JobSpec) Validate() error {
+	if err := validTenant(js.Tenant); err != nil {
+		return err
+	}
 	if js.Experiment != "" {
 		if js.Workload != "" || js.Governor != "" || js.Nodes != 0 ||
 			js.BudgetW != 0 || js.Chain != "" || js.Thermal || js.Iterations != 0 ||
@@ -167,6 +178,23 @@ func (js JobSpec) Validate() error {
 		}
 		if js.Levels != 0 || js.Fanout != 0 {
 			return fmt.Errorf("serve: levels/fanout apply only to cluster jobs (nodes > 1)")
+		}
+	}
+	return nil
+}
+
+// validTenant bounds tenant names: they become telemetry label values
+// and queue keys, so keep them short and printable.
+func validTenant(t string) error {
+	if len(t) > 64 {
+		return fmt.Errorf("serve: tenant name longer than 64 bytes")
+	}
+	for _, r := range t {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("serve: tenant name %q: only [A-Za-z0-9._-] allowed", t)
 		}
 	}
 	return nil

@@ -5,110 +5,269 @@ import (
 	"sync"
 )
 
-// Queue-admission errors. The HTTP layer maps ErrQueueFull to
-// 429 Too Many Requests with a Retry-After header (the service's
-// backpressure contract: a full queue rejects immediately — it never
-// buffers unboundedly) and ErrClosed to 503 Service Unavailable.
+// Queue-admission errors. The HTTP layer maps ErrQueueFull and
+// ErrRateLimited to 429 Too Many Requests with a computed Retry-After
+// header (the service's backpressure contract: a full queue or an
+// over-rate tenant is rejected immediately — the service never buffers
+// unboundedly) and ErrClosed to 503 Service Unavailable.
 var (
-	ErrQueueFull = errors.New("serve: job queue full")
-	ErrClosed    = errors.New("serve: service shutting down")
+	ErrQueueFull   = errors.New("serve: job queue full")
+	ErrRateLimited = errors.New("serve: tenant over intake rate")
+	ErrClosed      = errors.New("serve: service shutting down")
 )
 
-// jobQueue is a bounded FIFO of pending jobs. push never blocks (a
-// full queue is an immediate error — backpressure belongs to the
-// caller, not to a growing buffer); pop blocks until a job, or until
-// the queue is closed and empty. onDepth, when set, observes every
-// depth change (the telemetry queue-depth gauge).
+// tenantFIFO is one tenant's pending sub-queue: a head-index slice so
+// pop is O(1) without re-slicing away the backing array. Every vacated
+// slot is nil'ed immediately — a popped or removed *Job must become
+// collectable the moment the caller drops it, not when the backing
+// array happens to be reallocated (the round-1 retention bug).
+type tenantFIFO struct {
+	tenant  string
+	items   []*Job // items[head:] holds the pending window; removed slots are nil
+	head    int
+	n       int // live (non-nil) entries in items[head:]
+	deficit int // deficit round-robin credit, in jobs
+	weight  int // credit added per scheduling round
+	active  bool
+}
+
+// popFront returns the oldest live job, nil'ing its slot. The caller
+// guarantees n > 0.
+func (f *tenantFIFO) popFront() *Job {
+	var j *Job
+	for j == nil {
+		j = f.items[f.head]
+		f.items[f.head] = nil
+		f.head++
+	}
+	f.n--
+	f.compact()
+	return j
+}
+
+// compact bounds the backing array: once the consumed prefix reaches
+// half the slice, shift the live window down and truncate, nil'ing the
+// vacated tail so no *Job outlives its dequeue. Amortized O(1).
+func (f *tenantFIFO) compact() {
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+		return
+	}
+	if f.head < 64 || f.head*2 < len(f.items) {
+		return
+	}
+	n := copy(f.items, f.items[f.head:])
+	tail := f.items[n:]
+	for i := range tail {
+		tail[i] = nil
+	}
+	f.items = f.items[:n]
+	f.head = 0
+}
+
+// jobQueue is the bounded pending-job buffer, split into per-tenant
+// FIFOs drained by deficit round-robin: each scheduling round, an
+// active tenant earns `weight` credits and pops one job per credit, so
+// over any contended window tenants complete work in proportion to
+// their weights (all jobs cost one credit — fairness is in job counts,
+// which the load harness verifies end to end).
+//
+// push never blocks (a full queue is an immediate error — backpressure
+// belongs to the caller, not to a growing buffer); pop blocks until a
+// job, or until the queue is closed and empty. onDepth/onTenantDepth,
+// when set, observe every depth change (the telemetry gauges).
 type jobQueue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	items   []*Job
-	depth   int
+	depth   int // global bound across all tenants
+	size    int // total pending
 	closed  bool
-	onDepth func(n int)
+	tenants map[string]*tenantFIFO
+	ring    []*tenantFIFO // active (non-empty) tenants in round-robin order
+	cursor  int
+
+	weightFor     func(tenant string) int
+	onDepth       func(n int)
+	onTenantDepth func(tenant string, n int)
 }
 
-func newJobQueue(depth int, onDepth func(int)) *jobQueue {
-	q := &jobQueue{depth: depth, onDepth: onDepth}
+func newJobQueue(depth int, weightFor func(string) int, onDepth func(int), onTenantDepth func(string, int)) *jobQueue {
+	if weightFor == nil {
+		weightFor = func(string) int { return 1 }
+	}
+	q := &jobQueue{
+		depth:         depth,
+		tenants:       make(map[string]*tenantFIFO),
+		weightFor:     weightFor,
+		onDepth:       onDepth,
+		onTenantDepth: onTenantDepth,
+	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-// push appends j, failing fast when the queue is full or closed.
+// fifoFor returns (creating if needed) the tenant's sub-queue.
+func (q *jobQueue) fifoFor(tenant string) *tenantFIFO {
+	f, ok := q.tenants[tenant]
+	if !ok {
+		w := q.weightFor(tenant)
+		if w < 1 {
+			w = 1
+		}
+		f = &tenantFIFO{tenant: tenant, weight: w}
+		q.tenants[tenant] = f
+	}
+	return f
+}
+
+// push appends j to its tenant's FIFO, failing fast when the queue is
+// full or closed.
 func (q *jobQueue) push(j *Job) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrClosed
 	}
-	if len(q.items) >= q.depth {
+	if q.size >= q.depth {
 		return ErrQueueFull
 	}
-	q.items = append(q.items, j)
-	q.noteDepthLocked()
+	f := q.fifoFor(j.Spec.Tenant)
+	f.items = append(f.items, j)
+	f.n++
+	if !f.active {
+		f.active = true
+		f.deficit = 0
+		q.ring = append(q.ring, f)
+	}
+	q.size++
+	q.noteDepthLocked(f)
 	q.cond.Signal()
 	return nil
 }
 
-// pop removes and returns the oldest job, blocking while the queue is
-// open and empty. ok is false once the queue is closed and drained —
-// the workers' exit signal.
+// pop removes and returns the next job under deficit round-robin,
+// blocking while the queue is open and empty. ok is false once the
+// queue is closed and drained — the workers' exit signal.
 func (q *jobQueue) pop() (j *Job, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.size == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.size == 0 {
 		return nil, false
 	}
-	j = q.items[0]
-	q.items = q.items[1:]
-	q.noteDepthLocked()
-	return j, true
+	// size > 0 guarantees some ring entry is non-empty, so this scan
+	// terminates: empty tenants leave the ring (resetting their credit,
+	// per classic DRR, so an idle tenant cannot hoard a burst).
+	for {
+		f := q.ring[q.cursor]
+		if f.n == 0 {
+			q.deactivateLocked(q.cursor)
+			continue
+		}
+		if f.deficit < 1 {
+			f.deficit += f.weight // weight >= 1, so one round suffices
+		}
+		j = f.popFront()
+		f.deficit--
+		q.size--
+		if f.n == 0 {
+			q.deactivateLocked(q.cursor)
+		} else if f.deficit < 1 {
+			q.cursor = (q.cursor + 1) % len(q.ring)
+		}
+		q.noteDepthLocked(f)
+		return j, true
+	}
+}
+
+// deactivateLocked drops ring[i], keeping the cursor on the element
+// that slides into its place (modulo wrap).
+func (q *jobQueue) deactivateLocked(i int) {
+	f := q.ring[i]
+	f.active = false
+	f.deficit = 0
+	copy(q.ring[i:], q.ring[i+1:])
+	q.ring[len(q.ring)-1] = nil
+	q.ring = q.ring[:len(q.ring)-1]
+	if len(q.ring) == 0 {
+		q.cursor = 0
+	} else {
+		q.cursor %= len(q.ring)
+	}
 }
 
 // remove deletes the job with the given ID if it is still pending
-// (a queued-job cancellation), preserving FIFO order of the rest.
+// (a queued-job cancellation), preserving FIFO order of the rest. The
+// slot is nil'ed in place; pop skips it.
 func (q *jobQueue) remove(id string) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for i, j := range q.items {
-		if j.ID == id {
-			q.items = append(q.items[:i], q.items[i+1:]...)
-			q.noteDepthLocked()
-			return true
+	for _, f := range q.tenants {
+		for i := f.head; i < len(f.items); i++ {
+			if j := f.items[i]; j != nil && j.ID == id {
+				f.items[i] = nil
+				f.n--
+				q.size--
+				q.noteDepthLocked(f)
+				return true
+			}
 		}
 	}
 	return false
 }
 
 // close marks the queue closed and returns every still-pending job
-// (shutdown marks them aborted). Blocked pops wake and return false
-// once the backlog is gone.
+// (shutdown marks them aborted), tenant by tenant in ring order, FIFO
+// within each tenant. Blocked pops wake and return false once the
+// backlog is gone.
 func (q *jobQueue) close() []*Job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed && len(q.items) == 0 {
+	if q.closed && q.size == 0 {
 		return nil
 	}
 	q.closed = true
-	drained := q.items
-	q.items = nil
-	q.noteDepthLocked()
+	var drained []*Job
+	for _, f := range q.ring {
+		if f == nil {
+			continue
+		}
+		for i := f.head; i < len(f.items); i++ {
+			if j := f.items[i]; j != nil {
+				drained = append(drained, j)
+				f.items[i] = nil
+			}
+		}
+		f.items, f.head, f.n, f.active, f.deficit = nil, 0, 0, false, 0
+		q.noteTenantDepthLocked(f)
+	}
+	q.ring, q.cursor, q.size = nil, 0, 0
+	if q.onDepth != nil {
+		q.onDepth(0)
+	}
 	q.cond.Broadcast()
 	return drained
 }
 
-// len returns the current backlog size.
+// len returns the current backlog size across all tenants.
 func (q *jobQueue) len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.size
 }
 
-func (q *jobQueue) noteDepthLocked() {
+func (q *jobQueue) noteDepthLocked(f *tenantFIFO) {
 	if q.onDepth != nil {
-		q.onDepth(len(q.items))
+		q.onDepth(q.size)
+	}
+	q.noteTenantDepthLocked(f)
+}
+
+func (q *jobQueue) noteTenantDepthLocked(f *tenantFIFO) {
+	if q.onTenantDepth != nil {
+		q.onTenantDepth(f.tenant, f.n)
 	}
 }

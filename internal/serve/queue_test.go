@@ -2,6 +2,8 @@ package serve
 
 import (
 	"errors"
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -9,7 +11,7 @@ import (
 func qjob(id string) *Job { return &Job{ID: id, state: StateQueued} }
 
 func TestQueueFIFOAndFull(t *testing.T) {
-	q := newJobQueue(2, nil)
+	q := newJobQueue(2, nil, nil, nil)
 	if err := q.push(qjob("a")); err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +34,7 @@ func TestQueueFIFOAndFull(t *testing.T) {
 }
 
 func TestQueueRemove(t *testing.T) {
-	q := newJobQueue(4, nil)
+	q := newJobQueue(4, nil, nil, nil)
 	for _, id := range []string{"a", "b", "c"} {
 		if err := q.push(qjob(id)); err != nil {
 			t.Fatal(err)
@@ -53,7 +55,7 @@ func TestQueueRemove(t *testing.T) {
 }
 
 func TestQueueCloseWakesBlockedPop(t *testing.T) {
-	q := newJobQueue(2, nil)
+	q := newJobQueue(2, nil, nil, nil)
 	done := make(chan bool, 1)
 	go func() {
 		_, ok := q.pop()
@@ -77,7 +79,7 @@ func TestQueueCloseWakesBlockedPop(t *testing.T) {
 }
 
 func TestQueueCloseReturnsBacklog(t *testing.T) {
-	q := newJobQueue(4, nil)
+	q := newJobQueue(4, nil, nil, nil)
 	for _, id := range []string{"a", "b"} {
 		if err := q.push(qjob(id)); err != nil {
 			t.Fatal(err)
@@ -94,7 +96,7 @@ func TestQueueCloseReturnsBacklog(t *testing.T) {
 
 func TestQueueDepthCallback(t *testing.T) {
 	var depths []int
-	q := newJobQueue(3, func(n int) { depths = append(depths, n) })
+	q := newJobQueue(3, nil, func(n int) { depths = append(depths, n) }, nil)
 	_ = q.push(qjob("a"))
 	_ = q.push(qjob("b"))
 	q.pop()
@@ -106,6 +108,177 @@ func TestQueueDepthCallback(t *testing.T) {
 	for i := range want {
 		if depths[i] != want[i] {
 			t.Fatalf("depths = %v, want %v", depths, want)
+		}
+	}
+}
+
+// qtjob builds a queued job attributed to a tenant.
+func qtjob(id, tenant string) *Job {
+	return &Job{ID: id, Spec: JobSpec{Tenant: tenant}, state: StateQueued}
+}
+
+// TestQueuePopReleasesJob pins that a popped job's queue slot is
+// nil'ed: once the caller drops the job, nothing in the queue keeps it
+// alive.
+func TestQueuePopReleasesJob(t *testing.T) {
+	q := newJobQueue(4, nil, nil, nil)
+	fin := make(chan struct{})
+	func() {
+		j := qjob("pop-release")
+		runtime.SetFinalizer(j, func(*Job) { close(fin) })
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := q.pop()
+		if !ok || got.ID != "pop-release" {
+			t.Fatalf("pop = %v/%v", got, ok)
+		}
+	}() // both references go out of scope here
+	waitCollected(t, fin, "popped job still referenced by the queue's backing array")
+	_ = q.len() // keep q alive past the GC loop
+}
+
+// TestQueueRemoveReleasesJob pins the same for remove: the canceled
+// queued job's slot must not pin the job.
+func TestQueueRemoveReleasesJob(t *testing.T) {
+	q := newJobQueue(4, nil, nil, nil)
+	fin := make(chan struct{})
+	func() {
+		j := qjob("rm-release")
+		runtime.SetFinalizer(j, func(*Job) { close(fin) })
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+		// A sibling stays queued so the backing array survives.
+		if err := q.push(qjob("stays")); err != nil {
+			t.Fatal(err)
+		}
+		if !q.remove("rm-release") {
+			t.Fatal("remove failed")
+		}
+	}()
+	waitCollected(t, fin, "removed job still referenced by the queue's backing array")
+	_ = q.len()
+}
+
+// waitCollected fails the test if the finalizer never runs.
+func waitCollected(t *testing.T, fin chan struct{}, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		select {
+		case <-fin:
+			return
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestQueueDeficitRoundRobin pins the weighted fair-share drain: with
+// tenants a (weight 3) and b (weight 1) both backlogged, pops serve
+// them 3:1 in deterministic rounds.
+func TestQueueDeficitRoundRobin(t *testing.T) {
+	weights := map[string]int{"a": 3, "b": 1}
+	q := newJobQueue(64, func(tenant string) int { return weights[tenant] }, nil, nil)
+	for i := 0; i < 12; i++ {
+		if err := q.push(qtjob(fmt.Sprintf("a%d", i), "a")); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.push(qtjob(fmt.Sprintf("b%d", i), "b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	counts := map[string]int{}
+	for i := 0; i < 16; i++ {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		order = append(order, j.Spec.Tenant)
+		counts[j.Spec.Tenant]++
+	}
+	// 16 pops = 4 full rounds of quantum 3+1.
+	if counts["a"] != 12 || counts["b"] != 4 {
+		t.Fatalf("drain mix over 16 pops = %v (order %v), want a:12 b:4", counts, order)
+	}
+}
+
+// TestQueueFIFOWithinTenant pins per-tenant ordering under DRR: a
+// tenant's own jobs still drain strictly first-in first-out.
+func TestQueueFIFOWithinTenant(t *testing.T) {
+	q := newJobQueue(64, nil, nil, nil)
+	for i := 0; i < 4; i++ {
+		_ = q.push(qtjob(fmt.Sprintf("a%d", i), "a"))
+		_ = q.push(qtjob(fmt.Sprintf("b%d", i), "b"))
+	}
+	last := map[string]int{"a": -1, "b": -1}
+	for i := 0; i < 8; i++ {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		seq := int(j.ID[1] - '0')
+		if seq <= last[j.Spec.Tenant] {
+			t.Fatalf("tenant %s served out of order: %s after index %d", j.Spec.Tenant, j.ID, last[j.Spec.Tenant])
+		}
+		last[j.Spec.Tenant] = seq
+	}
+}
+
+// TestQueueDRRResetsIdleCredit pins the classic-DRR rule that an
+// emptied tenant forfeits its credit: after draining completely, a
+// returning tenant starts a fresh round instead of burning banked
+// deficit.
+func TestQueueDRRResetsIdleCredit(t *testing.T) {
+	weights := map[string]int{"a": 4}
+	q := newJobQueue(64, func(tenant string) int { return weights[tenant] }, nil, nil)
+	if err := q.push(qtjob("a0", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := q.pop(); j.ID != "a0" {
+		t.Fatal("expected a0")
+	}
+	// a left the ring with deficit reset. b and a return together; the
+	// first round serves a its full fresh quantum (4), then b.
+	_ = q.push(qtjob("a1", "a"))
+	_ = q.push(qtjob("a2", "a"))
+	_ = q.push(qtjob("b0", "b"))
+	var got []string
+	for i := 0; i < 3; i++ {
+		j, _ := q.pop()
+		got = append(got, j.ID)
+	}
+	want := []string{"a1", "a2", "b0"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueueTenantDepthCallback pins the per-tenant depth hook.
+func TestQueueTenantDepthCallback(t *testing.T) {
+	type obs struct {
+		tenant string
+		n      int
+	}
+	var seen []obs
+	q := newJobQueue(8, nil, nil, func(tenant string, n int) { seen = append(seen, obs{tenant, n}) })
+	_ = q.push(qtjob("a0", "a"))
+	_ = q.push(qtjob("b0", "b"))
+	_ = q.push(qtjob("a1", "a"))
+	q.pop()
+	want := []obs{{"a", 1}, {"b", 1}, {"a", 2}, {"a", 1}}
+	if len(seen) != len(want) {
+		t.Fatalf("tenant depths = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("tenant depths = %v, want %v", seen, want)
 		}
 	}
 }

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tenantLimiter is a per-tenant token bucket set gating job intake:
+// each tenant's bucket refills at rate tokens/sec up to burst, and a
+// submission that would enqueue work spends one token. A submission
+// with no token available is rejected (HTTP 429) — cache-hit and
+// join-existing submissions are free, since they enqueue nothing.
+//
+// The bucket map is bounded: when it outgrows maxBuckets, buckets that
+// have refilled back to full are dropped — a full bucket is
+// indistinguishable from a fresh one, so forgetting it changes
+// nothing.
+type tenantLimiter struct {
+	rate  float64 // tokens per second; <= 0 disables the limiter
+	burst float64
+	now   func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+const maxBuckets = 4096
+
+// newTenantLimiter returns nil when rate <= 0 (limiting off); a nil
+// limiter admits everything.
+func newTenantLimiter(rate float64, burst int, now func() time.Time) *tenantLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		// Default burst: a couple of seconds of headroom, at least one
+		// whole token so a single submission is always admissible.
+		b = 2 * rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &tenantLimiter{rate: rate, burst: b, now: now, m: make(map[string]*tokenBucket)}
+}
+
+// allow spends one of the tenant's tokens, reporting false when none
+// has accrued yet.
+func (l *tenantLimiter) allow(tenant string) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.refillLocked(tenant)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// refund returns a spent token (the submission was admitted by the
+// limiter but then rejected by the queue — the tenant did not get the
+// work it paid for).
+func (l *tenantLimiter) refund(tenant string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.refillLocked(tenant)
+	if b.tokens++; b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+}
+
+func (l *tenantLimiter) refillLocked(tenant string) *tokenBucket {
+	t := l.now()
+	b, ok := l.m[tenant]
+	if !ok {
+		if len(l.m) >= maxBuckets {
+			l.dropFullLocked(t)
+		}
+		b = &tokenBucket{tokens: l.burst, last: t}
+		l.m[tenant] = b
+		return b
+	}
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = t
+	return b
+}
+
+// dropFullLocked forgets buckets that have refilled to capacity.
+func (l *tenantLimiter) dropFullLocked(t time.Time) {
+	for tenant, b := range l.m {
+		if b.tokens+t.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.m, tenant)
+		}
+	}
+}

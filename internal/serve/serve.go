@@ -1,30 +1,40 @@
 // Package serve is the asynchronous run service: simulation jobs
-// arrive over HTTP, wait in a bounded FIFO queue, and execute on a
-// fixed worker pool, each under its own context with a deadline. The
-// service is the scaling layer the ROADMAP's "heavy traffic" goal
+// arrive over HTTP, wait in a bounded multi-tenant queue, and execute
+// on a fixed worker pool, each under its own context with a deadline.
+// The service is the scaling layer the ROADMAP's "heavy traffic" goal
 // asks for — callers submit and poll (or stream progress) instead of
-// holding a connection per simulation.
+// holding a connection per simulation — and it is built to survive
+// sustained traffic: the job table is bounded (LRU eviction of
+// terminal jobs), intake is rate-limited per tenant, and the queue
+// drains tenants by weighted fair share.
 //
 // Core pieces:
 //
 //   - Job model (job.go): a content-addressed JobSpec whose
 //     deterministic ID doubles as the result-cache key, with a small
-//     explicit lifecycle state machine.
-//   - Backpressure (queue.go): a bounded FIFO; a full queue rejects
-//     submissions immediately (HTTP 429 + Retry-After) rather than
-//     buffering unboundedly.
+//     explicit lifecycle state machine and an optional tenant.
+//   - Backpressure (queue.go, ratelimit.go): per-tenant FIFOs under a
+//     global bound, drained by deficit round-robin with configurable
+//     weights; a full queue or an over-rate tenant rejects the
+//     submission immediately (HTTP 429 + a Retry-After computed from
+//     the observed drain rate) rather than buffering unboundedly.
 //   - Scheduler (this file): min(GOMAXPROCS, Config.Workers) workers
 //     drain the queue, reusing the machine/cluster/experiment entry
 //     points (exec.go) under a per-job context.Context with a
 //     deadline.
-//   - Result cache: completed jobs keep their marshaled result, so a
-//     resubmission of the same canonical spec is served from memory,
-//     byte-identical, with an idempotency hit counter.
+//   - Bounded result store (store.go): completed jobs keep their
+//     marshaled result, so a resubmission of the same canonical spec
+//     is served from memory, byte-identical, with an idempotency hit
+//     counter; MaxJobs/MaxResultBytes bound retention, evicting
+//     least-recently-used terminal jobs (an evicted ID answers 404
+//     with the eviction reason, and a fresh submission of the same
+//     spec re-runs to the same bytes).
 //   - Streaming progress (events.go): per-job NDJSON event streams
 //     fed by the engine's machine.Hook bus.
-//   - Telemetry (telemetry.go): queue depth, jobs by state, per-job
-//     wall histogram, cache hit/miss and rejection counters on the
-//     shared registry.
+//   - Telemetry (telemetry.go): queue depth (global and per tenant),
+//     jobs by state, per-job wall histogram, cache hit/miss,
+//     rejection/rate-limit/eviction counters and the retained-bytes
+//     gauge on the shared registry.
 //
 // Simulation results through the serve path are byte-identical to
 // direct runs — every serve-side consumer is a Hook-bus observer, and
@@ -36,6 +46,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -49,8 +60,9 @@ var ErrUnknownJob = errors.New("serve: unknown job")
 
 // Config describes a run service.
 type Config struct {
-	// QueueDepth bounds the pending-job FIFO; submissions beyond it
-	// are rejected with ErrQueueFull. 0 selects 64.
+	// QueueDepth bounds the pending-job buffer across all tenants;
+	// submissions beyond it are rejected with ErrQueueFull. 0 selects
+	// 64.
 	QueueDepth int
 	// Workers caps the execution pool: the service runs
 	// min(GOMAXPROCS, Workers) workers. 0 selects 4.
@@ -64,6 +76,34 @@ type Config struct {
 	// EventBuffer is the per-job progress ring capacity (history
 	// replayed to late stream subscribers). 0 selects 256.
 	EventBuffer int
+
+	// MaxJobs bounds the retained job table. When a submission would
+	// grow it past MaxJobs, least-recently-used *terminal* jobs are
+	// evicted (queued/running jobs are never evicted, so size MaxJobs
+	// at least QueueDepth+Workers to keep the bound tight). An evicted
+	// ID answers ErrUnknownJob with an eviction reason; resubmitting
+	// its spec re-runs the job, deterministically byte-identical.
+	// 0 disables eviction — retain everything, the round-1 behavior.
+	MaxJobs int
+	// MaxResultBytes bounds the summed cached-result bytes across
+	// retained terminal jobs, evicting LRU terminal jobs when
+	// exceeded. 0 disables the byte bound.
+	MaxResultBytes int64
+	// TenantWeights sets the deficit-round-robin drain weight per
+	// tenant name ("" is the default tenant); missing tenants weigh 1.
+	// Over any contended window a tenant completes jobs in proportion
+	// to its weight.
+	TenantWeights map[string]int
+	// TenantRatePerSec turns on per-tenant intake rate limiting: each
+	// tenant's token bucket refills at this rate and a submission that
+	// would enqueue work (new spec, or re-run of a failed/canceled/
+	// aborted one) spends a token. Cache-hit submissions are free.
+	// 0 disables rate limiting.
+	TenantRatePerSec float64
+	// TenantBurst is the token bucket capacity; 0 selects
+	// max(1, 2×TenantRatePerSec).
+	TenantBurst int
+
 	// Telemetry receives the service metrics (and each run's observer
 	// series); nil allocates a registry private to this service.
 	Telemetry *telemetry.Registry
@@ -73,6 +113,10 @@ type Config struct {
 	// this package to hold workers at a known point. Unexported on
 	// purpose: not part of the service's contract.
 	beforeRun func(*Job)
+	// now, when non-nil, replaces time.Now for the intake rate
+	// limiter — a seam so rate-limit tests advance a fake clock
+	// instead of sleeping.
+	now func() time.Time
 }
 
 // withDefaults resolves the zero values.
@@ -101,17 +145,22 @@ func (c Config) withDefaults() Config {
 // Service accepts, queues, executes and caches simulation jobs. Safe
 // for concurrent use.
 type Service struct {
-	cfg Config
-	reg *telemetry.Registry
-	tel *serveTelemetry
-	q   *jobQueue
+	cfg     Config
+	reg     *telemetry.Registry
+	tel     *serveTelemetry
+	q       *jobQueue
+	limiter *tenantLimiter
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	mu    sync.Mutex
-	jobs  map[string]*Job
-	order []string // submission order, for listings
+	store *jobStore
+
+	// wallEWMA tracks an exponentially weighted moving average of job
+	// wall-clock seconds (float64 bits) — the drain-rate estimate
+	// behind RetryAfter. Zero until the first job completes.
+	wallEWMA atomic.Uint64
 
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -127,12 +176,16 @@ func New(cfg Config) *Service {
 	}
 	tel := newServeTelemetry(reg)
 	s := &Service{
-		cfg:  cfg,
-		reg:  reg,
-		tel:  tel,
-		jobs: make(map[string]*Job),
+		cfg:     cfg,
+		reg:     reg,
+		tel:     tel,
+		store:   newJobStore(cfg.MaxJobs, cfg.MaxResultBytes),
+		limiter: newTenantLimiter(cfg.TenantRatePerSec, cfg.TenantBurst, cfg.now),
 	}
-	s.q = newJobQueue(cfg.QueueDepth, func(n int) { tel.queueDepth.Set(float64(n)) })
+	weightFor := func(tenant string) int { return cfg.TenantWeights[tenant] }
+	s.q = newJobQueue(cfg.QueueDepth, weightFor,
+		func(n int) { tel.queueDepth.Set(float64(n)) },
+		tel.setTenantDepth)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -150,12 +203,69 @@ func (s *Service) Workers() int { return s.cfg.Workers }
 // QueueLen returns the current backlog size.
 func (s *Service) QueueLen() int { return s.q.len() }
 
+// JobCount returns the number of retained jobs — bounded by
+// Config.MaxJobs (plus in-flight slack) when eviction is on.
+func (s *Service) JobCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.len()
+}
+
+// RetryAfter estimates how long a rejected submitter should wait
+// before retrying: the observed mean job wall-clock times the backlog,
+// divided across the worker pool, clamped to [1, 60] seconds. Before
+// any job has completed (no drain-rate observation yet) it reports the
+// 1 s floor. The HTTP layer stamps this on every 429, queue-full and
+// rate-limited alike.
+func (s *Service) RetryAfter() time.Duration {
+	secs := 1.0
+	if w := math.Float64frombits(s.wallEWMA.Load()); w > 0 {
+		est := w * float64(s.q.len()) / float64(s.cfg.Workers)
+		secs = math.Ceil(est)
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// noteWall folds one completed job's wall-clock into the drain-rate
+// EWMA (alpha 0.2 — a few jobs of memory, quick to track load shifts).
+func (s *Service) noteWall(wall time.Duration) {
+	const alpha = 0.2
+	sec := wall.Seconds()
+	for {
+		old := s.wallEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := sec
+		if prev > 0 {
+			next = alpha*sec + (1-alpha)*prev
+		}
+		if s.wallEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// EvictedReason reports whether id was evicted from the bounded store
+// and why ("lru" or "bytes").
+func (s *Service) EvictedReason(id string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.evictedReason(id)
+}
+
 // Submit validates and enqueues a job. created reports whether the
 // submission put (or re-put) a job on the queue: false means an
 // existing job with the same canonical spec absorbed the submission —
 // the idempotency/cache path, counted on the job and in telemetry.
 // Terminal-but-unsuccessful jobs (failed, canceled, aborted) are
-// re-enqueued by a fresh submission of the same spec.
+// re-enqueued by a fresh submission of the same spec. Submissions that
+// would enqueue work spend an intake token when rate limiting is on;
+// an exhausted tenant bucket rejects with ErrRateLimited.
 func (s *Service) Submit(js JobSpec) (j *Job, created bool, err error) {
 	if s.closed.Load() {
 		return nil, false, ErrClosed
@@ -168,15 +278,13 @@ func (s *Service) Submit(js JobSpec) (j *Job, created bool, err error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if j, ok := s.jobs[id]; ok {
+	if j, ok := s.store.get(id); ok {
 		j.mu.Lock()
 		if j.state.Terminal() && j.state != StateDone {
-			// The previous attempt went nowhere; run it again.
-			if err := s.q.push(j); err != nil {
+			// The previous attempt went nowhere; run it again — which
+			// enqueues work, so it pays the intake token.
+			if err := s.admitLocked(j); err != nil {
 				j.mu.Unlock()
-				if errors.Is(err, ErrQueueFull) {
-					s.tel.rejected.Inc()
-				}
 				return nil, false, err
 			}
 			from := j.state
@@ -189,6 +297,8 @@ func (s *Service) Submit(js JobSpec) (j *Job, created bool, err error) {
 			j.events = newEventLog(s.cfg.EventBuffer)
 			j.events.publish(marshalEvent(progressEvent{Type: "state", State: StateQueued}))
 			j.mu.Unlock()
+			s.store.markLive(id)
+			s.tel.resultBytes.Set(float64(s.store.resultBytes()))
 			s.tel.transition(from, StateQueued)
 			return j, true, nil
 		}
@@ -201,36 +311,73 @@ func (s *Service) Submit(js JobSpec) (j *Job, created bool, err error) {
 	}
 
 	j = &Job{ID: id, Spec: norm, state: StateQueued, events: newEventLog(s.cfg.EventBuffer)}
-	if err := s.q.push(j); err != nil {
-		if errors.Is(err, ErrQueueFull) {
-			s.tel.rejected.Inc()
-		}
+	if err := s.admitLocked(j); err != nil {
 		return nil, false, err
 	}
-	s.jobs[id] = j
-	s.order = append(s.order, id)
+	s.store.add(j)
+	s.evictLocked()
 	s.tel.cacheMiss.Inc()
 	s.tel.transition("", StateQueued)
 	j.events.publish(marshalEvent(progressEvent{Type: "state", State: StateQueued}))
 	return j, true, nil
 }
 
-// Get returns a job by ID.
+// admitLocked passes j through the tenant rate limiter and onto the
+// queue, counting rejections. A token spent on a push the queue then
+// rejects is refunded — the tenant did not get the work it paid for.
+func (s *Service) admitLocked(j *Job) error {
+	tenant := j.Spec.Tenant
+	if !s.limiter.allow(tenant) {
+		s.tel.tenantRateLimited(tenant)
+		return fmt.Errorf("%w (tenant %q)", ErrRateLimited, tenantLabel(tenant))
+	}
+	if err := s.q.push(j); err != nil {
+		s.limiter.refund(tenant)
+		if errors.Is(err, ErrQueueFull) {
+			s.tel.rejected.Inc()
+		}
+		return err
+	}
+	return nil
+}
+
+// noteTerminal records a terminal transition in the bounded store:
+// the job becomes evictable carrying resultLen cached bytes, its wall
+// time (if it ran) feeds the drain-rate EWMA, and the store trims back
+// under its bounds. Callers must not hold j.mu.
+func (s *Service) noteTerminal(j *Job, resultLen int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A concurrent resubmission may have re-enqueued the job between
+	// the worker's state write and this bookkeeping; a live job must
+	// not be marked evictable.
+	if !j.State().Terminal() {
+		return
+	}
+	s.store.markTerminal(j.ID, resultLen)
+	s.evictLocked()
+}
+
+// evictLocked trims the store under its bounds, reflecting each
+// eviction in telemetry.
+func (s *Service) evictLocked() {
+	s.store.evict(func(j *Job, reason string) {
+		s.tel.evicted(j.State(), reason)
+	})
+	s.tel.resultBytes.Set(float64(s.store.resultBytes()))
+}
+
+// Get returns a job by ID, marking it recently used.
 func (s *Service) Get(id string) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	return j, ok
+	return s.store.get(id)
 }
 
-// List returns every job's status in submission order.
+// List returns every retained job's status in submission order.
 func (s *Service) List() []Status {
 	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	jobs := make([]*Job, 0, len(ids))
-	for _, id := range ids {
-		jobs = append(jobs, s.jobs[id])
-	}
+	jobs := s.store.list()
 	s.mu.Unlock()
 	out := make([]Status, 0, len(jobs))
 	for _, j := range jobs {
@@ -246,7 +393,7 @@ func (s *Service) List() []Status {
 // job's state as of the call.
 func (s *Service) Cancel(id string) (State, error) {
 	s.mu.Lock()
-	j, ok := s.jobs[id]
+	j, ok := s.store.get(id)
 	s.mu.Unlock()
 	if !ok {
 		return "", ErrUnknownJob
@@ -265,6 +412,7 @@ func (s *Service) Cancel(id string) (State, error) {
 		j.mu.Unlock()
 		ev.close()
 		s.tel.transition(StateQueued, StateCanceled)
+		s.noteTerminal(j, 0)
 		return StateCanceled, nil
 	case StateRunning:
 		j.cancelled = true
@@ -316,6 +464,7 @@ func (s *Service) runJob(j *Job) {
 	res, run, err := s.execute(ctx, j)
 	wall := time.Since(j.started)
 	s.tel.jobWall.Observe(wall.Seconds())
+	s.noteWall(wall)
 
 	to, detail := StateDone, ""
 	if err != nil {
@@ -338,6 +487,7 @@ func (s *Service) runJob(j *Job) {
 	j.wall = wall
 	j.state = to
 	j.err = detail
+	var resultLen int
 	if err == nil {
 		b, merr := json.Marshal(res)
 		if merr != nil {
@@ -348,6 +498,7 @@ func (s *Service) runJob(j *Job) {
 		} else {
 			j.result = b
 			j.run = run
+			resultLen = len(b)
 		}
 	}
 	j.events.publish(marshalEvent(progressEvent{Type: "state", State: to, Detail: detail}))
@@ -355,6 +506,10 @@ func (s *Service) runJob(j *Job) {
 	j.mu.Unlock()
 	ev.close()
 	s.tel.transition(StateRunning, to)
+	if to == StateDone {
+		s.tel.tenantCompleted(j.Spec.Tenant)
+	}
+	s.noteTerminal(j, resultLen)
 }
 
 // Shutdown gracefully stops the service: intake closes (submissions
@@ -377,6 +532,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		j.mu.Unlock()
 		ev.close()
 		s.tel.transition(StateQueued, StateAborted)
+		s.noteTerminal(j, 0)
 	}
 	drained := make(chan struct{})
 	go func() {

@@ -1,0 +1,196 @@
+package serve
+
+import "container/list"
+
+// Eviction reasons recorded per evicted job and used as the telemetry
+// label on the evicted-jobs counter.
+const (
+	evictReasonLRU   = "lru"   // retained-job count exceeded MaxJobs
+	evictReasonBytes = "bytes" // summed result bytes exceeded MaxResultBytes
+)
+
+// storeEntry is one retained job plus its positions in the store's two
+// orderings.
+type storeEntry struct {
+	job *Job
+	sub *list.Element // submission order (listings)
+	lru *list.Element // access order, front = least recently used
+
+	// terminal mirrors the job's lifecycle so eviction scans never take
+	// a job lock: the service flips it on every terminal transition and
+	// clears it on re-enqueue, always under the service mutex.
+	terminal bool
+	// accounted is the result-byte count charged against MaxResultBytes
+	// for this entry (len of the cached result at completion).
+	accounted int64
+}
+
+// jobStore is the bounded job table behind Service.jobs in round 1:
+// every retained job, in submission order for listings and LRU order
+// for eviction. Only *terminal* jobs are ever evicted — queued and
+// running jobs are pinned regardless of pressure — so with
+// maxJobs >= QueueDepth + Workers the retained count stays at or under
+// maxJobs whenever the service is quiescent, and within the live-job
+// slack otherwise. maxJobs/maxBytes of 0 disable that bound (the
+// round-1 retain-everything behavior, which the pre-existing e2e suite
+// runs under).
+//
+// Evicted IDs are remembered (id → reason) in a bounded ring so a
+// later GET can answer "404: evicted (reason)" instead of a bare
+// unknown-job 404; once the ring wraps, the oldest evictions degrade
+// to plain 404s.
+//
+// The store does no locking: every method runs under Service.mu.
+type jobStore struct {
+	maxJobs  int
+	maxBytes int64
+
+	entries map[string]*storeEntry
+	bySub   *list.List // of *storeEntry
+	byLRU   *list.List // of *storeEntry
+	bytes   int64      // summed accounted result bytes
+
+	evicted     map[string]string // id → reason, for 404-with-reason
+	evictedRing []string          // FIFO of recorded ids, bounds the map
+	evictedNext int
+}
+
+// evictedMemory bounds the evicted-id record independently of MaxJobs:
+// enough to answer any plausible in-flight poller, small enough to
+// never matter for the heap bound the churn test pins.
+const evictedMemory = 4096
+
+func newJobStore(maxJobs int, maxBytes int64) *jobStore {
+	return &jobStore{
+		maxJobs:  maxJobs,
+		maxBytes: maxBytes,
+		entries:  make(map[string]*storeEntry),
+		bySub:    list.New(),
+		byLRU:    list.New(),
+		evicted:  make(map[string]string),
+	}
+}
+
+// add inserts a brand-new job (most recently used). Any eviction
+// record for the same ID is cleared: the spec is live again.
+func (st *jobStore) add(j *Job) {
+	e := &storeEntry{job: j}
+	e.sub = st.bySub.PushBack(e)
+	e.lru = st.byLRU.PushBack(e)
+	st.entries[j.ID] = e
+	delete(st.evicted, j.ID)
+}
+
+// get returns the job and marks it most recently used.
+func (st *jobStore) get(id string) (*Job, bool) {
+	e, ok := st.entries[id]
+	if !ok {
+		return nil, false
+	}
+	st.byLRU.MoveToBack(e.lru)
+	return e.job, true
+}
+
+// list returns the retained jobs in submission order.
+func (st *jobStore) list() []*Job {
+	out := make([]*Job, 0, st.bySub.Len())
+	for el := st.bySub.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*storeEntry).job)
+	}
+	return out
+}
+
+func (st *jobStore) len() int { return len(st.entries) }
+
+// resultBytes returns the summed cached-result bytes currently
+// retained (the telemetry gauge).
+func (st *jobStore) resultBytes() int64 { return st.bytes }
+
+// markTerminal records that the job reached a terminal state carrying
+// resultLen cached bytes, making it eligible for eviction.
+func (st *jobStore) markTerminal(id string, resultLen int) {
+	e, ok := st.entries[id]
+	if !ok || e.terminal {
+		return
+	}
+	e.terminal = true
+	e.accounted = int64(resultLen)
+	st.bytes += e.accounted
+}
+
+// markLive clears a re-enqueued job's terminal flag (and its byte
+// charge — the re-run discards the old result).
+func (st *jobStore) markLive(id string) {
+	e, ok := st.entries[id]
+	if !ok || !e.terminal {
+		return
+	}
+	e.terminal = false
+	st.bytes -= e.accounted
+	e.accounted = 0
+}
+
+// evict drops least-recently-used terminal jobs until the store is
+// back under both bounds, reporting each eviction (job, reason) to
+// onEvict. Live jobs are skipped, so a burst of in-flight work larger
+// than maxJobs is tolerated and trimmed as it completes.
+func (st *jobStore) evict(onEvict func(j *Job, reason string)) {
+	for {
+		var reason string
+		switch {
+		case st.maxJobs > 0 && len(st.entries) > st.maxJobs:
+			reason = evictReasonLRU
+		case st.maxBytes > 0 && st.bytes > st.maxBytes:
+			reason = evictReasonBytes
+		default:
+			return
+		}
+		victim := (*storeEntry)(nil)
+		for el := st.byLRU.Front(); el != nil; el = el.Next() {
+			if e := el.Value.(*storeEntry); e.terminal {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return // everything retained is live; trim later
+		}
+		st.remove(victim, reason)
+		if onEvict != nil {
+			onEvict(victim.job, reason)
+		}
+	}
+}
+
+// remove drops an entry and records why.
+func (st *jobStore) remove(e *storeEntry, reason string) {
+	delete(st.entries, e.job.ID)
+	st.bySub.Remove(e.sub)
+	st.byLRU.Remove(e.lru)
+	st.bytes -= e.accounted
+	st.recordEvicted(e.job.ID, reason)
+}
+
+// recordEvicted remembers an evicted ID in the bounded ring,
+// forgetting the oldest record once full.
+func (st *jobStore) recordEvicted(id, reason string) {
+	if len(st.evictedRing) < evictedMemory {
+		st.evictedRing = append(st.evictedRing, id)
+	} else {
+		old := st.evictedRing[st.evictedNext]
+		// A resubmission may have cleared the record already; only
+		// forget it if it still refers to the evicted generation.
+		if _, live := st.entries[old]; !live {
+			delete(st.evicted, old)
+		}
+		st.evictedRing[st.evictedNext] = id
+		st.evictedNext = (st.evictedNext + 1) % evictedMemory
+	}
+	st.evicted[id] = reason
+}
+
+// evictedReason reports whether (and why) an ID was evicted.
+func (st *jobStore) evictedReason(id string) (string, bool) {
+	r, ok := st.evicted[id]
+	return r, ok
+}

@@ -8,12 +8,17 @@ import (
 
 // Serve-layer metric family names.
 const (
-	MetricQueueDepth = "aapm_serve_queue_depth"
-	MetricJobs       = "aapm_serve_jobs"
-	MetricJobWall    = "aapm_serve_job_wall_seconds"
-	MetricCacheHits  = "aapm_serve_cache_hits_total"
-	MetricCacheMiss  = "aapm_serve_cache_misses_total"
-	MetricRejected   = "aapm_serve_jobs_rejected_total"
+	MetricQueueDepth  = "aapm_serve_queue_depth"
+	MetricTenantDepth = "aapm_serve_tenant_queue_depth"
+	MetricJobs        = "aapm_serve_jobs"
+	MetricJobWall     = "aapm_serve_job_wall_seconds"
+	MetricCacheHits   = "aapm_serve_cache_hits_total"
+	MetricCacheMiss   = "aapm_serve_cache_misses_total"
+	MetricRejected    = "aapm_serve_jobs_rejected_total"
+	MetricRateLimited = "aapm_serve_rate_limited_total"
+	MetricEvicted     = "aapm_serve_jobs_evicted_total"
+	MetricResultBytes = "aapm_serve_result_bytes"
+	MetricTenantDone  = "aapm_serve_tenant_completions_total"
 )
 
 // jobWallBuckets spans sub-millisecond cache-priming runs to the
@@ -22,40 +27,79 @@ var jobWallBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
-// serveTelemetry owns the run service's metric families: queue depth,
-// a jobs-by-state gauge set, the per-job wall-clock histogram, and
-// the cache-hit/miss and rejected-submission counters. All updates go
-// through here so the by-state gauges stay consistent with the job
-// state machine.
-type serveTelemetry struct {
-	queueDepth *telemetry.Series
-	jobWall    *telemetry.Series
-	cacheHits  *telemetry.Series
-	cacheMiss  *telemetry.Series
-	rejected   *telemetry.Series
+// maxTenantSeries caps the tenant label cardinality across the
+// per-tenant families: the first maxTenantSeries distinct tenants get
+// their own series, the rest aggregate under "other" — a scrape must
+// not grow without bound just because tenant names do.
+const maxTenantSeries = 64
 
-	mu     sync.Mutex
-	byName map[State]*telemetry.Series
-	counts map[State]int
-	jobs   *telemetry.Family
+// tenantLabel maps the spec's tenant (possibly empty) to the
+// exposition label value.
+func tenantLabel(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}
+
+// serveTelemetry owns the run service's metric families: queue depth
+// (global and per tenant), a jobs-by-state gauge set, the per-job
+// wall-clock histogram, cache-hit/miss, rejection (queue-full and
+// rate-limit), eviction and per-tenant completion counters, and the
+// retained-result-bytes gauge. All updates go through here so the
+// by-state gauges stay consistent with the job state machine.
+type serveTelemetry struct {
+	queueDepth  *telemetry.Series
+	jobWall     *telemetry.Series
+	cacheHits   *telemetry.Series
+	cacheMiss   *telemetry.Series
+	rejected    *telemetry.Series
+	resultBytes *telemetry.Series
+
+	tenantDepthF *telemetry.Family
+	tenantDoneF  *telemetry.Family
+	rateLimitedF *telemetry.Family
+	evictedF     *telemetry.Family
+
+	mu          sync.Mutex
+	byName      map[State]*telemetry.Series
+	counts      map[State]int
+	jobs        *telemetry.Family
+	tenantDepth map[string]*telemetry.Series
+	tenantDone  map[string]*telemetry.Series
+	rateLimited map[string]*telemetry.Series
+	tenantSeen  map[string]struct{}
 }
 
 func newServeTelemetry(reg *telemetry.Registry) *serveTelemetry {
 	t := &serveTelemetry{
-		queueDepth: reg.Gauge(MetricQueueDepth, "Jobs waiting in the bounded FIFO queue.").With(),
-		jobWall:    reg.Histogram(MetricJobWall, "Wall-clock from job start to terminal state (seconds).", jobWallBuckets).With(),
-		cacheHits:  reg.Counter(MetricCacheHits, "Submissions served by an existing job (same canonical spec).").With(),
-		cacheMiss:  reg.Counter(MetricCacheMiss, "Submissions that enqueued a new job.").With(),
-		rejected:   reg.Counter(MetricRejected, "Submissions rejected by backpressure (queue full).").With(),
-		jobs:       reg.Gauge(MetricJobs, "Jobs currently in each lifecycle state.", "state"),
-		byName:     make(map[State]*telemetry.Series),
-		counts:     make(map[State]int),
+		queueDepth:   reg.Gauge(MetricQueueDepth, "Jobs waiting across all tenant sub-queues.").With(),
+		jobWall:      reg.Histogram(MetricJobWall, "Wall-clock from job start to terminal state (seconds).", jobWallBuckets).With(),
+		cacheHits:    reg.Counter(MetricCacheHits, "Submissions served by an existing job (same canonical spec).").With(),
+		cacheMiss:    reg.Counter(MetricCacheMiss, "Submissions that enqueued a new job.").With(),
+		rejected:     reg.Counter(MetricRejected, "Submissions rejected by backpressure (queue full).").With(),
+		resultBytes:  reg.Gauge(MetricResultBytes, "Cached result bytes retained across terminal jobs.").With(),
+		tenantDepthF: reg.Gauge(MetricTenantDepth, "Jobs waiting in one tenant's sub-queue.", "tenant"),
+		tenantDoneF:  reg.Counter(MetricTenantDone, "Jobs completed (done) per tenant.", "tenant"),
+		rateLimitedF: reg.Counter(MetricRateLimited, "Submissions rejected by the tenant intake rate limiter.", "tenant"),
+		evictedF:     reg.Counter(MetricEvicted, "Terminal jobs evicted from the bounded store.", "reason"),
+		jobs:         reg.Gauge(MetricJobs, "Jobs currently in each lifecycle state.", "state"),
+		byName:       make(map[State]*telemetry.Series),
+		counts:       make(map[State]int),
+		tenantDepth:  make(map[string]*telemetry.Series),
+		tenantDone:   make(map[string]*telemetry.Series),
+		rateLimited:  make(map[string]*telemetry.Series),
+		tenantSeen:   make(map[string]struct{}),
 	}
 	// Pre-create every state's series so a scrape shows the full state
-	// space at zero instead of series popping into existence.
+	// space at zero instead of series popping into existence. Same for
+	// the two eviction reasons.
 	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateAborted} {
 		t.byName[s] = t.jobs.With(string(s))
 		t.byName[s].Set(0)
+	}
+	for _, r := range []string{evictReasonLRU, evictReasonBytes} {
+		t.evictedF.With(r)
 	}
 	return t
 }
@@ -71,4 +115,61 @@ func (t *serveTelemetry) transition(from, to State) {
 	}
 	t.counts[to]++
 	t.byName[to].Set(float64(t.counts[to]))
+}
+
+// evicted removes an evicted job from its terminal state's gauge and
+// counts the eviction under its reason.
+func (t *serveTelemetry) evicted(state State, reason string) {
+	t.mu.Lock()
+	t.counts[state]--
+	t.byName[state].Set(float64(t.counts[state]))
+	t.mu.Unlock()
+	t.evictedF.With(reason).Inc()
+}
+
+// tenantSeriesLocked resolves (creating on first use) one tenant's
+// series in fam, degrading to the shared "other" series past the
+// cardinality cap.
+func (t *serveTelemetry) tenantSeriesLocked(fam *telemetry.Family, cache map[string]*telemetry.Series, tenant string) *telemetry.Series {
+	label := tenantLabel(tenant)
+	if s, ok := cache[label]; ok {
+		return s
+	}
+	if _, seen := t.tenantSeen[label]; !seen {
+		if len(t.tenantSeen) >= maxTenantSeries {
+			label = "other"
+		} else {
+			t.tenantSeen[label] = struct{}{}
+		}
+	}
+	s, ok := cache[label]
+	if !ok {
+		s = fam.With(label)
+		cache[label] = s
+	}
+	return s
+}
+
+// setTenantDepth is the per-tenant queue-depth gauge hook.
+func (t *serveTelemetry) setTenantDepth(tenant string, n int) {
+	t.mu.Lock()
+	s := t.tenantSeriesLocked(t.tenantDepthF, t.tenantDepth, tenant)
+	t.mu.Unlock()
+	s.Set(float64(n))
+}
+
+// tenantCompleted counts one done job for the tenant.
+func (t *serveTelemetry) tenantCompleted(tenant string) {
+	t.mu.Lock()
+	s := t.tenantSeriesLocked(t.tenantDoneF, t.tenantDone, tenant)
+	t.mu.Unlock()
+	s.Inc()
+}
+
+// tenantRateLimited counts one rate-limited rejection for the tenant.
+func (t *serveTelemetry) tenantRateLimited(tenant string) {
+	t.mu.Lock()
+	s := t.tenantSeriesLocked(t.rateLimitedF, t.rateLimited, tenant)
+	t.mu.Unlock()
+	s.Inc()
 }
