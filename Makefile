@@ -68,6 +68,50 @@ serve-smoke:
 		|| { echo "metrics missing the serve family"; exit 1; }; \
 	echo "serve smoke OK"
 
+# Observability smoke: against a live aapm-serve with tracing forced
+# on, /healthz answers healthy, /api/slo lists the default objectives,
+# a submitted fleet job's spans are retrievable from /api/trace/{id}
+# (including the Perfetto rendering), and every NDJSON event line
+# carries the trace ID and sequence number.
+OBS_SMOKE_ADDR ?= 127.0.0.1:18082
+.PHONY: obs-smoke
+obs-smoke:
+	go build -o /tmp/aapm-serve ./cmd/aapm-serve
+	@set -e; \
+	/tmp/aapm-serve -addr $(OBS_SMOKE_ADDR) -trace-sample 1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do curl -sf $(OBS_SMOKE_ADDR)/healthz >/dev/null && break; sleep 0.1; done; \
+	curl -sf $(OBS_SMOKE_ADDR)/healthz | jq -e '.healthy == true' >/dev/null \
+		|| { echo "healthz not healthy"; exit 1; }; \
+	curl -sf $(OBS_SMOKE_ADDR)/api/slo | jq -e '.healthy == true and ([.objectives[].name] | contains(["submit_p99","error_rate"]))' >/dev/null \
+		|| { echo "slo objectives missing"; exit 1; }; \
+	id=$$(curl -sf -X POST $(OBS_SMOKE_ADDR)/api/jobs \
+		-d '{"workload":"gzip","seed":7,"nodes":8,"budget_w":120,"levels":2,"fanout":4,"iterations":1}' | jq -r .id); \
+	echo "submitted $$id"; \
+	state=queued; \
+	for i in $$(seq 1 100); do \
+		state=$$(curl -sf $(OBS_SMOKE_ADDR)/api/jobs/$$id | jq -r .state); \
+		case $$state in done|failed|canceled|aborted) break;; esac; \
+		sleep 0.1; \
+	done; \
+	[ "$$state" = done ] || { echo "job ended $$state"; exit 1; }; \
+	curl -sf $(OBS_SMOKE_ADDR)/api/trace/$$id | jq -e \
+		'.sampled == true and ([.spans[].name] | (contains(["intake","queue-wait","run","shard-step"])))' >/dev/null \
+		|| { echo "trace spans missing"; exit 1; }; \
+	curl -sf "$(OBS_SMOKE_ADDR)/api/trace/$$id?format=perfetto" | jq -e 'map(select(.ph == "X")) | length > 0' >/dev/null \
+		|| { echo "perfetto rendering empty"; exit 1; }; \
+	curl -sf $(OBS_SMOKE_ADDR)/api/jobs/$$id/events | head -1 | jq -e '.seq == 1 and .trace != ""' >/dev/null \
+		|| { echo "event stream missing seq/trace"; exit 1; }; \
+	echo "obs smoke OK"
+
+# Span-propagation and SLO suites under the race detector, exactly as
+# CI runs them.
+.PHONY: obs-race
+obs-race:
+	go test -race -count=1 ./internal/obs/
+	go test -race -count=1 -run 'TestTraceFollowsFleetJob|TestHealthzFlipsOnSLOBurn|TestTenantSeriesCapCollapsesToOther' ./internal/serve/
+	go test -race -count=1 -run 'TestClusterTraceSpans|TestFleetTraceSpansPerLevel' ./internal/cluster/
+
 # Submit-latency benchmark for the run service's cache-hit path; the
 # committed BENCH_serve.json tracks datapoints over time.
 .PHONY: serve-bench

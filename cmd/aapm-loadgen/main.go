@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aapm/internal/obs"
 	"aapm/internal/serve"
 )
 
@@ -60,6 +61,8 @@ func main() {
 	jsonOut := flag.String("json", "", "write the report JSON to this file instead of stdout")
 	maxSubmitP99 := flag.Duration("max-submit-p99", 0, "fail if p99 submit latency exceeds this (0 = no gate)")
 	fairnessTol := flag.Float64("fairness-tol", 0, "fail if a tenant's completion share strays further than this from its weight share (0 = no gate)")
+	sloReport := flag.String("slo-report", "", "write a BENCH_serve.json-style loadgen history entry, with the server's SLO burn-rate peaks from /api/slo, to this file (\"-\" = stdout)")
+	sloGate := flag.Bool("slo-gate", false, "fail if the server reports an SLO breach at run end")
 	flag.Parse()
 
 	base := *addr
@@ -113,11 +116,122 @@ func main() {
 		os.Stdout.Write(out)
 	}
 
+	var slo *obs.SLOStatus
+	if *sloReport != "" || *sloGate {
+		slo, err = fetchSLO(g.client, base)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *sloReport != "" {
+		if err := writeSLOReport(*sloReport, report, slo); err != nil {
+			fatal(err)
+		}
+	}
+
 	if msg := gate(report, *maxSubmitP99, *fairnessTol); msg != "" {
 		fatal(fmt.Errorf("gate failed: %s", msg))
 	}
+	if *sloGate && slo != nil && !slo.Healthy {
+		var reasons []string
+		for _, o := range slo.Objectives {
+			if o.Breaching {
+				reasons = append(reasons, o.Reason)
+			}
+		}
+		fatal(fmt.Errorf("slo gate failed: %s", strings.Join(reasons, "; ")))
+	}
 	fmt.Fprintf(os.Stderr, "aapm-loadgen: ok — %d submitted, %d accepted, %d completed, %d rejected (429), 0 failures\n",
 		report.Submitted, report.Accepted, report.Completed, report.Rejected429)
+}
+
+// fetchSLO pulls the server's objective burn-rate status.
+func fetchSLO(client *http.Client, base string) (*obs.SLOStatus, error) {
+	resp, err := client.Get(base + "/api/slo")
+	if err != nil {
+		return nil, fmt.Errorf("slo fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("slo fetch: HTTP %d", resp.StatusCode)
+	}
+	var st obs.SLOStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("slo fetch: %w", err)
+	}
+	return &st, nil
+}
+
+// sloPeak is one objective's burn-rate high-water mark for the run.
+type sloPeak struct {
+	Name         string  `json:"name"`
+	PeakFastBurn float64 `json:"peak_fast_burn"`
+	PeakSlowBurn float64 `json:"peak_slow_burn"`
+	Breaching    bool    `json:"breaching,omitempty"`
+	Reason       string  `json:"reason,omitempty"`
+}
+
+// sloHistoryEntry mirrors the loadgen history entries committed in
+// BENCH_serve.json, extended with the run's SLO burn-rate peaks, so a
+// run's entry can be pasted into the history array as-is.
+type sloHistoryEntry struct {
+	Date            string                  `json:"date"`
+	Profile         string                  `json:"profile"`
+	RatePerSec      float64                 `json:"rate_per_sec"`
+	WindowSec       float64                 `json:"window_sec"`
+	Tenants         map[string]*tenantStats `json:"tenants,omitempty"`
+	Submitted       int                     `json:"submitted"`
+	Accepted        int                     `json:"accepted"`
+	Rejected429     int                     `json:"rejected_429"`
+	HTTP5xx         int                     `json:"http_5xx"`
+	Completed       int                     `json:"completed"`
+	SubmitLatencyMs map[string]float64      `json:"submit_latency_ms"`
+	PeakRSSBytes    int64                   `json:"peak_rss_bytes,omitempty"`
+	SLOHealthy      bool                    `json:"slo_healthy"`
+	SLO             []sloPeak               `json:"slo"`
+}
+
+func writeSLOReport(path string, r *reportT, slo *obs.SLOStatus) error {
+	entry := sloHistoryEntry{
+		Date:        time.Now().Format("2006-01-02"),
+		Profile:     r.Profile,
+		RatePerSec:  r.TargetRate,
+		WindowSec:   r.WindowSec,
+		Tenants:     r.Tenants,
+		Submitted:   r.Submitted,
+		Accepted:    r.Accepted,
+		Rejected429: r.Rejected429,
+		HTTP5xx:     r.HTTP5xx,
+		Completed:   r.Completed,
+		SubmitLatencyMs: map[string]float64{
+			"p50": r.Submit.P50ms, "p99": r.Submit.P99ms, "p999": r.Submit.P999ms,
+		},
+		PeakRSSBytes: r.PeakRSSBytes,
+		SLOHealthy:   slo.Healthy,
+	}
+	for _, o := range slo.Objectives {
+		entry.SLO = append(entry.SLO, sloPeak{
+			Name:         o.Name,
+			PeakFastBurn: o.PeakFastBurn,
+			PeakSlowBurn: o.PeakSlowBurn,
+			Breaching:    o.Breaching,
+			Reason:       o.Reason,
+		})
+	}
+	out, err := json.MarshalIndent(entry, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "aapm-loadgen: SLO report written to %s\n", path)
+	return nil
 }
 
 // tenant is one entry of the submission mix.

@@ -9,6 +9,8 @@
 //	aapm-serve [-addr :8080] [-queue 64] [-workers 4] [-job-timeout 2m]
 //	           [-max-jobs N] [-max-result-bytes N] [-tenant-weights a=2,b=1]
 //	           [-tenant-rate R] [-tenant-burst B] [-pprof]
+//	           [-trace-sample 0.01] [-trace-tenant-sample a=1,b=0]
+//	           [-trace-out trace.json]
 //
 // Quick start:
 //
@@ -53,11 +55,30 @@ func main() {
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant intake rate in new submissions/sec (0 = unlimited)")
 	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant intake burst; 0 derives max(1, 2*rate)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	traceSample := flag.Float64("trace-sample", 0.01, "head-sampling rate for job traces in [0,1]")
+	traceTenant := flag.String("trace-tenant-sample", "", "per-tenant sampling overrides as name=rate pairs, e.g. acme=1,batch=0")
+	traceOut := flag.String("trace-out", "", "append sampled spans as a Chrome trace-event JSON file (viewable in Perfetto)")
 	flag.Parse()
 
 	weights, err := parseWeights(*tenantWeights)
 	if err != nil {
 		fatal(err)
+	}
+	tenantRates, err := parseRates(*traceTenant)
+	if err != nil {
+		fatal(err)
+	}
+	var export *telemetry.TraceEventWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		export = telemetry.NewTraceEventWriter(f)
+		defer func() {
+			_ = export.Close()
+			_ = f.Close()
+		}()
 	}
 
 	reg := telemetry.NewRegistry()
@@ -71,6 +92,9 @@ func main() {
 		TenantRatePerSec: *tenantRate,
 		TenantBurst:      *tenantBurst,
 		Telemetry:        reg,
+		TraceSampleRate:  *traceSample,
+		TenantTraceRate:  tenantRates,
+		TraceExport:      export,
 	})
 
 	// One mux: the job API, the dashboard (which also serves /metrics
@@ -79,6 +103,9 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/api/jobs", svc.Handler())
 	mux.Handle("/api/jobs/", svc.Handler())
+	mux.Handle("/api/trace/", svc.Handler())
+	mux.Handle("/api/slo", svc.Handler())
+	mux.Handle("/healthz", svc.Handler())
 	mux.Handle("/", dash.NewHandler(dash.Options{Telemetry: reg, PProf: *pprofOn}))
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
@@ -92,6 +119,7 @@ func main() {
 	fmt.Printf("aapm run service listening on %s (%d workers, queue %d)\n", *addr, svc.Workers(), *queue)
 	fmt.Printf("  submit:  POST http://%s/api/jobs\n", host)
 	fmt.Printf("  metrics: http://%s/metrics\n", host)
+	fmt.Printf("  health:  http://%s/healthz  (SLO burn: /api/slo, traces: /api/trace/{job})\n", host)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -129,6 +157,27 @@ func parseWeights(s string) (map[string]int, error) {
 			return nil, fmt.Errorf("bad -tenant-weights weight %q: want integer >= 1", val)
 		}
 		out[name] = w
+	}
+	return out, nil
+}
+
+// parseRates turns "acme=1,batch=0" into per-tenant sampling-rate
+// overrides.
+func parseRates(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -trace-tenant-sample entry %q: want name=rate", pair)
+		}
+		r, err := strconv.ParseFloat(val, 64)
+		if err != nil || r < 0 || r > 1 {
+			return nil, fmt.Errorf("bad -trace-tenant-sample rate %q: want a number in [0,1]", val)
+		}
+		out[name] = r
 	}
 	return out, nil
 }

@@ -31,6 +31,7 @@ import (
 	"aapm/internal/kernel"
 	"aapm/internal/machine"
 	"aapm/internal/metrics"
+	"aapm/internal/obs"
 	"aapm/internal/phase"
 	"aapm/internal/pstate"
 	"aapm/internal/sensor"
@@ -269,9 +270,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	var pool *workerPool
 	if workers > 1 {
-		pool = newWorkerPool(workers, st.shard)
+		pool = newWorkerPool(ctx, "cluster", workers, st.shard)
 		defer pool.close()
 	}
+
+	// Tracing is epoch-granular: with an unsampled (or absent) trace
+	// the per-tick loop does no span work at all — the nil-safe guard
+	// below is the only cost, and the tracing-off budget test pins it.
+	tr := obs.FromContext(ctx)
+	spans := newCoordSpans(tr, machines[0].SamplePeriod(), st, workers)
 
 	res := &Result{Names: names, Workers: workers}
 	limits := make([]float64, n) // each node's current share
@@ -341,6 +348,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		if !anyActive {
 			res.CoordWall.Add(time.Since(t0))
+			spans.finish(tick)
 			break
 		}
 		intervals++
@@ -365,7 +373,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			for i := range demands {
 				assembleDemand(&demands[i], eng.done(i), recentW[i], recentDPC[i], recentN[i], epochFresh[i], eng.seq(i), eng.lastDPC(i))
 			}
+			reallocStart := time.Now()
 			reallocate(cfg.BudgetW, floor, table, demands, pms, limits)
+			spans.reallocEpoch(tick, reallocStart, cfg.BudgetW, recentW, recentDPC, recentN)
 			for i := range recentW {
 				recentW[i], recentDPC[i], recentN[i], epochFresh[i] = 0, 0, 0, false
 			}

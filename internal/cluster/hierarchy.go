@@ -35,6 +35,7 @@ import (
 	"aapm/internal/kernel"
 	"aapm/internal/machine"
 	"aapm/internal/metrics"
+	"aapm/internal/obs"
 	"aapm/internal/phase"
 	"aapm/internal/power"
 	"aapm/internal/sensor"
@@ -272,9 +273,13 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 	}
 	var pool *workerPool
 	if workers > 1 {
-		pool = newWorkerPool(workers, st.shard)
+		pool = newWorkerPool(ctx, fmt.Sprintf("fleet-l%d", levels), workers, st.shard)
 		defer pool.close()
 	}
+	// Tracing is epoch-granular here too: an unsampled (or absent)
+	// trace makes spans nil and the per-tick loop does no span work.
+	spans := newCoordSpans(obs.FromContext(ctx), machines[0].SamplePeriod(), st, workers)
+	spans.trackLevels(shape.counts)
 
 	res := &FleetResult{
 		Nodes: n, Levels: levels, Fanout: fanout,
@@ -341,7 +346,7 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 	var distribute func(l, lo, hi int, budget float64)
 	distribute = func(l, lo, hi int, budget float64) {
 		var t0 time.Time
-		if ft != nil {
+		if ft != nil || spans.active() {
 			t0 = time.Now()
 		}
 		al := &allocators[l]
@@ -355,11 +360,15 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 				distribute(l-1, clo, chi, w)
 			})
 		}
-		if ft != nil {
+		if ft != nil || spans.active() {
 			// Inclusive wall: a level's sample covers its own Allocate
 			// plus the recursion below it (the root sample is the whole
 			// epoch's allocation cost).
-			ft.wallAcc[l] += time.Since(t0)
+			d := time.Since(t0)
+			if ft != nil {
+				ft.wallAcc[l] += d
+			}
+			spans.levelDur(l, d)
 		}
 	}
 	// aggregate rebuilds the interior summaries bottom-up from the
@@ -445,6 +454,7 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 		}
 		if !anyActive {
 			res.CoordWall.Add(time.Since(t0))
+			spans.finish(tick)
 			break
 		}
 		intervals++
@@ -476,6 +486,7 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 				distribute(levels-1, 0, shape.counts[levels-1], cfg.BudgetW)
 			}
 			res.Epochs++
+			spans.fleetEpoch(tick, cfg.BudgetW)
 			for i := range recentW {
 				recentW[i], recentDPC[i], recentN[i], epochFresh[i] = 0, 0, 0, false
 			}

@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -109,13 +112,26 @@ const spinYields = 64
 
 // newWorkerPool starts one goroutine per worker; each waits for the
 // generation to advance, runs fn with its worker index, and reports
-// done.
-func newWorkerPool(workers int, fn func(worker int)) *workerPool {
+// done. Each worker goroutine carries pprof labels — the pool scope
+// plus its shard range — layered over whatever labels ctx already
+// carries (the serve scheduler's tenant/job labels propagate through
+// here), so CPU profiles attribute stepping time to tenant, job,
+// coordinator and shard. Labels do not cross goroutine creation on
+// their own, hence the explicit SetGoroutineLabels per worker.
+func newWorkerPool(ctx context.Context, scope string, workers int, fn func(worker int)) *workerPool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := &workerPool{workers: workers}
 	p.wake.L = &p.mu
 	p.idle.L = &p.mu
 	for k := 0; k < workers; k++ {
 		go func(k int) {
+			lctx := pprof.WithLabels(ctx, pprof.Labels(
+				"aapm_pool", scope,
+				"aapm_shard", fmt.Sprintf("%d/%d", k, workers),
+			))
+			pprof.SetGoroutineLabels(lctx)
 			var seen uint64
 			for {
 				g := p.gen.Load()

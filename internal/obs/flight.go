@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// FlightEvent is one entry on a job's flight-recorder timeline: a span
+// completion, a state transition, a degradation, or any other marker a
+// layer wants in the postmortem record.
+type FlightEvent struct {
+	// Wall is the host-clock timestamp (stamped by Note when zero).
+	Wall time.Time `json:"wall"`
+	// Kind groups events: "span", "state", "transition", "degradation".
+	Kind string `json:"kind"`
+	// Name is the event's identity within its kind (span name, state
+	// name, fault kind…).
+	Name string `json:"name"`
+	// Detail is optional free text (error strings, transition detail).
+	Detail string `json:"detail,omitempty"`
+	// VirtUS places the event on the virtual timeline when it has one.
+	VirtUS float64 `json:"virt_us,omitempty"`
+	// Value is an optional numeric payload (wall duration µs for spans,
+	// power for degradations…).
+	Value float64 `json:"value,omitempty"`
+}
+
+// FlightRecorder is an always-on fixed-size ring of a single job's
+// recent events. It is cheap enough to run unconditionally — one mutex
+// and a ring write per event, events arriving at coordinator (not
+// tick) granularity — so when a job fails or is aborted the recent
+// history is already there, no reproduction needed. Safe for
+// concurrent use; a nil *FlightRecorder is valid and records nothing.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []FlightEvent
+	cap   int
+	next  int
+	total uint64
+}
+
+// NewFlightRecorder builds a recorder keeping the last capacity events
+// (0 selects 128).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &FlightRecorder{ring: make([]FlightEvent, 0, capacity), cap: capacity}
+}
+
+// Note appends one event, overwriting the oldest once full. Wall is
+// stamped with time.Now() when zero.
+func (f *FlightRecorder) Note(e FlightEvent) {
+	if f == nil {
+		return
+	}
+	if e.Wall.IsZero() {
+		e.Wall = time.Now()
+	}
+	f.mu.Lock()
+	if len(f.ring) < f.cap {
+		f.ring = append(f.ring, e)
+	} else {
+		f.ring[f.next] = e
+		f.next = (f.next + 1) % f.cap
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// FlightDump is the serialized form stored alongside a failed job's
+// result: the retained events oldest-first plus how many older events
+// the ring dropped.
+type FlightDump struct {
+	Capacity int           `json:"capacity"`
+	Dropped  uint64        `json:"dropped"`
+	Events   []FlightEvent `json:"events"`
+}
+
+// Dump snapshots the ring oldest-first. Valid on a nil recorder
+// (empty dump).
+func (f *FlightRecorder) Dump() FlightDump {
+	if f == nil {
+		return FlightDump{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := FlightDump{Capacity: f.cap}
+	d.Events = make([]FlightEvent, 0, len(f.ring))
+	if f.total > uint64(len(f.ring)) {
+		d.Dropped = f.total - uint64(len(f.ring))
+		d.Events = append(d.Events, f.ring[f.next:]...)
+		d.Events = append(d.Events, f.ring[:f.next]...)
+	} else {
+		d.Events = append(d.Events, f.ring...)
+	}
+	return d
+}

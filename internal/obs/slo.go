@@ -1,0 +1,410 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Objective kinds.
+const (
+	// KindEvents judges a good/bad event stream against an error
+	// budget (Budget = allowed bad fraction).
+	KindEvents = "events"
+	// KindLatency is KindEvents with the classification built in: a
+	// sample is bad when its latency exceeds TargetSec. Budget 0.01
+	// with TargetSec 0.25 reads "p99 ≤ 250 ms".
+	KindLatency = "latency"
+	// KindShare judges per-key event shares (e.g. per-tenant
+	// completions) against weighted fair shares: the windowed metric is
+	// the maximum absolute deviation from the weight share, judged
+	// against MaxDeviation.
+	KindShare = "share"
+)
+
+// Objective is one declarative service-level objective.
+type Objective struct {
+	// Name identifies the objective in Observe calls and status output.
+	Name string
+	// Kind is one of KindEvents, KindLatency, KindShare; "" selects
+	// KindEvents (KindLatency when TargetSec > 0).
+	Kind string
+	// Description is surfaced in /api/slo.
+	Description string
+	// TargetSec classifies KindLatency samples: latency > TargetSec is
+	// bad.
+	TargetSec float64
+	// Budget is the allowed bad fraction for events/latency kinds
+	// (burn = badFraction / Budget). 0 selects 0.01.
+	Budget float64
+	// MaxDeviation is the KindShare tolerance (burn = deviation /
+	// MaxDeviation). 0 selects 0.2.
+	MaxDeviation float64
+	// Weights are the KindShare fair-share weights per key; unlisted
+	// keys weigh 1.
+	Weights map[string]float64
+	// FastWindow/SlowWindow are the two burn-rate windows; 0 selects
+	// 5m / 1h. An objective breaches only when BOTH windows burn at or
+	// above BurnThreshold — the fast window catches the spike, the slow
+	// window keeps a transient blip from flapping the health endpoint.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// BurnThreshold is the breach threshold on burn rate; 0 selects 2
+	// (consuming budget twice as fast as allowed).
+	BurnThreshold float64
+	// MinSamples gates breaching: fewer fast-window samples than this
+	// can never breach (a cold service is healthy, not 100% errored).
+	// 0 selects 10.
+	MinSamples int
+}
+
+// withDefaults resolves an objective's zero values.
+func (o Objective) withDefaults() Objective {
+	if o.Kind == "" {
+		o.Kind = KindEvents
+		if o.TargetSec > 0 {
+			o.Kind = KindLatency
+		}
+	}
+	if o.Budget <= 0 {
+		o.Budget = 0.01
+	}
+	if o.MaxDeviation <= 0 {
+		o.MaxDeviation = 0.2
+	}
+	if o.FastWindow <= 0 {
+		o.FastWindow = 5 * time.Minute
+	}
+	if o.SlowWindow <= 0 {
+		o.SlowWindow = time.Hour
+	}
+	if o.SlowWindow < o.FastWindow {
+		o.SlowWindow = o.FastWindow
+	}
+	if o.BurnThreshold <= 0 {
+		o.BurnThreshold = 2
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 10
+	}
+	return o
+}
+
+// ObjectiveStatus is one objective's evaluated state — the JSON shape
+// /api/slo serves.
+type ObjectiveStatus struct {
+	Name          string  `json:"name"`
+	Kind          string  `json:"kind"`
+	Description   string  `json:"description,omitempty"`
+	TargetSec     float64 `json:"target_sec,omitempty"`
+	Budget        float64 `json:"budget,omitempty"`
+	MaxDeviation  float64 `json:"max_deviation,omitempty"`
+	BurnThreshold float64 `json:"burn_threshold"`
+	FastWindowSec float64 `json:"fast_window_sec"`
+	SlowWindowSec float64 `json:"slow_window_sec"`
+	// FastBurn/SlowBurn are the current burn rates (observed bad
+	// fraction ÷ budget, or share deviation ÷ tolerance); Peak* their
+	// high-water marks since the engine started.
+	FastBurn     float64 `json:"fast_burn"`
+	SlowBurn     float64 `json:"slow_burn"`
+	PeakFastBurn float64 `json:"peak_fast_burn"`
+	PeakSlowBurn float64 `json:"peak_slow_burn"`
+	FastSamples  float64 `json:"fast_samples"`
+	SlowSamples  float64 `json:"slow_samples"`
+	Breaching    bool    `json:"breaching"`
+	Reason       string  `json:"reason,omitempty"`
+}
+
+// SLOStatus is the full /api/slo document.
+type SLOStatus struct {
+	Healthy    bool              `json:"healthy"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// Engine evaluates objectives with multi-window burn-rate accounting.
+// Events land in fixed-duration time buckets (fast window ÷ 30, so 10 s
+// buckets at the 5 m default) on a ring covering the slow window; the
+// two window sums slide bucket-by-bucket. The clock is injectable, so
+// the windows run over wall time in a live service and over a fake (or
+// virtual) clock in tests and simulations. Safe for concurrent use.
+type Engine struct {
+	now func() time.Time
+
+	mu   sync.Mutex
+	objs []*objectiveState
+	by   map[string]*objectiveState
+}
+
+// objectiveState is one objective's windowed accounting.
+type objectiveState struct {
+	o         Objective
+	bucketDur time.Duration
+	buckets   []sloBucket
+	head      int   // ring index of the current bucket
+	cur       int64 // bucket epoch (now / bucketDur) at head; 0 = unstarted
+	peakFast  float64
+	peakSlow  float64
+}
+
+type sloBucket struct {
+	good, bad float64
+	byKey     map[string]float64
+}
+
+// NewEngine builds an engine over the objectives. clock nil selects
+// time.Now. A nil *Engine is valid and records nothing.
+func NewEngine(objectives []Objective, clock func() time.Time) *Engine {
+	if clock == nil {
+		clock = time.Now
+	}
+	e := &Engine{now: clock, by: make(map[string]*objectiveState)}
+	for _, o := range objectives {
+		o = o.withDefaults()
+		bucketDur := o.FastWindow / 30
+		if bucketDur < time.Second {
+			bucketDur = time.Second
+		}
+		n := int(o.SlowWindow/bucketDur) + 1
+		st := &objectiveState{o: o, bucketDur: bucketDur, buckets: make([]sloBucket, n)}
+		e.objs = append(e.objs, st)
+		e.by[o.Name] = st
+	}
+	return e
+}
+
+// Observe records one good/bad event on an events-kind objective.
+// Unknown names are ignored (objectives are configuration; emitters
+// should not crash the service over a renamed one).
+func (e *Engine) Observe(name string, good bool) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.by[name]
+	if st == nil {
+		return
+	}
+	b := st.advance(e.now())
+	if good {
+		b.good++
+	} else {
+		b.bad++
+	}
+	st.notePeaks(e.now())
+}
+
+// ObserveLatency records one latency sample on a latency-kind
+// objective (bad when latencySec exceeds the target).
+func (e *Engine) ObserveLatency(name string, latencySec float64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	st := e.by[name]
+	if st == nil {
+		e.mu.Unlock()
+		return
+	}
+	good := latencySec <= st.o.TargetSec
+	b := st.advance(e.now())
+	if good {
+		b.good++
+	} else {
+		b.bad++
+	}
+	st.notePeaks(e.now())
+	e.mu.Unlock()
+}
+
+// ObserveKey records one keyed event on a share-kind objective (e.g.
+// one completion for a tenant).
+func (e *Engine) ObserveKey(name, key string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.by[name]
+	if st == nil {
+		return
+	}
+	b := st.advance(e.now())
+	if b.byKey == nil {
+		b.byKey = make(map[string]float64)
+	}
+	b.byKey[key]++
+	b.good++
+	st.notePeaks(e.now())
+}
+
+// advance rotates the ring up to now and returns the current bucket.
+// Callers hold e.mu.
+func (st *objectiveState) advance(now time.Time) *sloBucket {
+	epoch := now.UnixNano() / int64(st.bucketDur)
+	if st.cur == 0 {
+		st.cur = epoch
+	}
+	steps := epoch - st.cur
+	if steps < 0 {
+		steps = 0 // clock went backwards; keep accumulating in place
+	}
+	if steps > int64(len(st.buckets)) {
+		steps = int64(len(st.buckets))
+	}
+	for i := int64(0); i < steps; i++ {
+		st.head = (st.head + 1) % len(st.buckets)
+		st.buckets[st.head] = sloBucket{}
+	}
+	st.cur = epoch
+	return &st.buckets[st.head]
+}
+
+// window sums the last n buckets ending at head.
+func (st *objectiveState) window(d time.Duration) (good, bad float64, byKey map[string]float64) {
+	n := int(d / st.bucketDur)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(st.buckets) {
+		n = len(st.buckets)
+	}
+	if st.o.Kind == KindShare {
+		byKey = make(map[string]float64)
+	}
+	for i := 0; i < n; i++ {
+		b := &st.buckets[(st.head-i+len(st.buckets))%len(st.buckets)]
+		good += b.good
+		bad += b.bad
+		for k, v := range b.byKey {
+			byKey[k] += v
+		}
+	}
+	return good, bad, byKey
+}
+
+// burn evaluates one window's burn rate and sample count.
+func (st *objectiveState) burn(d time.Duration) (burn, samples float64) {
+	good, bad, byKey := st.window(d)
+	samples = good + bad
+	switch st.o.Kind {
+	case KindShare:
+		if samples < float64(st.o.MinSamples) || len(byKey) < 2 {
+			return 0, samples
+		}
+		var sumW float64
+		for k := range byKey {
+			sumW += st.weight(k)
+		}
+		var dev float64
+		for k, c := range byKey {
+			want := st.weight(k) / sumW
+			got := c / samples
+			if diff := abs(got - want); diff > dev {
+				dev = diff
+			}
+		}
+		return dev / st.o.MaxDeviation, samples
+	default:
+		if samples == 0 {
+			return 0, 0
+		}
+		return (bad / samples) / st.o.Budget, samples
+	}
+}
+
+func (st *objectiveState) weight(key string) float64 {
+	if w, ok := st.o.Weights[key]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// notePeaks refreshes the burn high-water marks after an observation.
+// Callers hold e.mu.
+func (st *objectiveState) notePeaks(now time.Time) {
+	st.advance(now)
+	if f, _ := st.burn(st.o.FastWindow); f > st.peakFast {
+		st.peakFast = f
+	}
+	if s, _ := st.burn(st.o.SlowWindow); s > st.peakSlow {
+		st.peakSlow = s
+	}
+}
+
+// Status evaluates every objective as of now. Objectives are reported
+// in registration order.
+func (e *Engine) Status() SLOStatus {
+	out := SLOStatus{Healthy: true}
+	if e == nil {
+		return out
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	for _, st := range e.objs {
+		st.advance(now)
+		fast, fastN := st.burn(st.o.FastWindow)
+		slow, slowN := st.burn(st.o.SlowWindow)
+		if fast > st.peakFast {
+			st.peakFast = fast
+		}
+		if slow > st.peakSlow {
+			st.peakSlow = slow
+		}
+		os := ObjectiveStatus{
+			Name:          st.o.Name,
+			Kind:          st.o.Kind,
+			Description:   st.o.Description,
+			TargetSec:     st.o.TargetSec,
+			BurnThreshold: st.o.BurnThreshold,
+			FastWindowSec: st.o.FastWindow.Seconds(),
+			SlowWindowSec: st.o.SlowWindow.Seconds(),
+			FastBurn:      fast,
+			SlowBurn:      slow,
+			PeakFastBurn:  st.peakFast,
+			PeakSlowBurn:  st.peakSlow,
+			FastSamples:   fastN,
+			SlowSamples:   slowN,
+		}
+		switch st.o.Kind {
+		case KindShare:
+			os.MaxDeviation = st.o.MaxDeviation
+		default:
+			os.Budget = st.o.Budget
+		}
+		if fast >= st.o.BurnThreshold && slow >= st.o.BurnThreshold && fastN >= float64(st.o.MinSamples) {
+			os.Breaching = true
+			os.Reason = fmt.Sprintf("%s: fast burn %.2f and slow burn %.2f both >= %.2f over %.0f samples",
+				st.o.Name, fast, slow, st.o.BurnThreshold, fastN)
+			out.Healthy = false
+		}
+		out.Objectives = append(out.Objectives, os)
+	}
+	return out
+}
+
+// Healthy evaluates every objective and returns overall health plus
+// the breach reasons (empty when healthy) — the /healthz contract.
+func (e *Engine) Healthy() (bool, []string) {
+	st := e.Status()
+	if st.Healthy {
+		return true, nil
+	}
+	var reasons []string
+	for _, o := range st.Objectives {
+		if o.Breaching {
+			reasons = append(reasons, o.Reason)
+		}
+	}
+	sort.Strings(reasons)
+	return false, reasons
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"aapm/internal/machine"
+	"aapm/internal/obs"
 	"aapm/internal/trace"
 )
 
@@ -17,8 +18,14 @@ import (
 // the channel closes when the job reaches a terminal state. A slow
 // subscriber never stalls the simulation: lines that don't fit its
 // channel are dropped (progress ticks are samples, not a transcript).
+// Every emitted line carries the job/trace IDs and a monotonically
+// increasing sequence number, so a resumed poller can detect ring
+// drops (a gap in seq) instead of silently missing events.
 type eventLog struct {
 	mu     sync.Mutex
+	job    string // stamped on every emitted line
+	trace  string
+	seq    uint64   // last sequence number issued (lines count from 1)
 	ring   [][]byte // circular once full: oldest line at head
 	head   int      // index of the oldest line when the ring is full
 	cap    int
@@ -28,6 +35,30 @@ type eventLog struct {
 
 func newEventLog(capacity int) *eventLog {
 	return &eventLog{cap: capacity, subs: make(map[chan []byte]struct{})}
+}
+
+// newJobEventLog builds a job's event log with the identity stamped on
+// every emitted line.
+func newJobEventLog(capacity int, job, trace string) *eventLog {
+	l := newEventLog(capacity)
+	l.job, l.trace = job, trace
+	return l
+}
+
+// emit stamps e with the log's identity and the next sequence number,
+// marshals it, and publishes the line. All serve-side events flow
+// through here; publish stays the raw primitive underneath.
+func (l *eventLog) emit(e progressEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.seq++
+	e.Seq = l.seq
+	e.Job = l.job
+	e.Trace = l.trace
+	l.publishLocked(marshalEvent(e))
 }
 
 // publish appends one marshaled line to the ring and offers it to
@@ -41,6 +72,10 @@ func (l *eventLog) publish(line []byte) {
 	if l.closed {
 		return
 	}
+	l.publishLocked(line)
+}
+
+func (l *eventLog) publishLocked(line []byte) {
 	if len(l.ring) < l.cap {
 		l.ring = append(l.ring, line)
 	} else {
@@ -96,9 +131,15 @@ func (l *eventLog) subscribe() (replay [][]byte, ch chan []byte, cancel func()) 
 // progressEvent is one NDJSON line of GET /api/jobs/{id}/events.
 // Type is "state" for lifecycle changes (queued/running/…; Detail
 // carries the terminal error, if any) and "tick" for sampled
-// simulation progress.
+// simulation progress. Seq increases by exactly 1 per line within one
+// job attempt (a re-enqueue starts a fresh log at 1), Job/Trace
+// identify the attempt — together they let a poller that reconnects
+// mid-run detect how many lines the bounded ring dropped.
 type progressEvent struct {
 	Type    string  `json:"type"`
+	Seq     uint64  `json:"seq,omitempty"`
+	Job     string  `json:"job,omitempty"`
+	Trace   string  `json:"trace,omitempty"`
 	State   State   `json:"state,omitempty"`
 	Detail  string  `json:"detail,omitempty"`
 	Node    string  `json:"node,omitempty"`
@@ -119,21 +160,24 @@ func marshalEvent(e progressEvent) []byte {
 
 // progressHook subscribes to a session's Hook bus and samples its
 // ticks into the job's event log: every 'every'-th interval plus the
-// final one, labeled with the node name for cluster jobs. Purely
-// observational, so traces through the serve path stay byte-identical
-// to direct runs.
+// final one, labeled with the node name for cluster jobs. Transitions
+// and degradations additionally land in the job's flight recorder, so
+// a postmortem dump shows what the machine was doing when the job
+// died. Purely observational, so traces through the serve path stay
+// byte-identical to direct runs.
 type progressHook struct {
 	machine.BaseHook
-	log   *eventLog
-	node  string
-	every int
+	log    *eventLog
+	flight *obs.FlightRecorder // nil-safe; always-on postmortem ring
+	node   string
+	every  int
 }
 
-func newProgressHook(log *eventLog, node string, every int) *progressHook {
+func newProgressHook(log *eventLog, flight *obs.FlightRecorder, node string, every int) *progressHook {
 	if every < 1 {
 		every = 1
 	}
-	return &progressHook{log: log, node: node, every: every}
+	return &progressHook{log: log, flight: flight, node: node, every: every}
 }
 
 // OnTick implements machine.Hook.
@@ -146,7 +190,7 @@ func (h *progressHook) OnTick(ts machine.TickState) {
 		// A faulted sensor can drop a reading; JSON has no NaN.
 		p = 0
 	}
-	h.log.publish(marshalEvent(progressEvent{
+	h.log.emit(progressEvent{
 		Type:    "tick",
 		Node:    h.node,
 		Tick:    ts.Tick,
@@ -154,7 +198,30 @@ func (h *progressHook) OnTick(ts machine.TickState) {
 		FreqMHz: ts.PState.FreqMHz,
 		PowerW:  p,
 		Phase:   ts.Phase,
-	}))
+	})
+}
+
+// OnTransition implements machine.Hook: p-state changes go to the
+// flight recorder (not the event stream — at fleet scale they are far
+// too dense to stream, but the bounded per-job ring absorbs them).
+func (h *progressHook) OnTransition(tr machine.Transition) {
+	h.flight.Note(obs.FlightEvent{
+		Kind:   "transition",
+		Name:   h.node,
+		Detail: fmt.Sprintf("p%d->p%d ok=%t", tr.From, tr.To, tr.OK),
+		VirtUS: float64(tr.T) / float64(time.Microsecond),
+	})
+}
+
+// OnDegradation implements machine.Hook: fault and graceful-
+// degradation events go to the flight recorder.
+func (h *progressHook) OnDegradation(d trace.Degradation) {
+	h.flight.Note(obs.FlightEvent{
+		Kind:   "degradation",
+		Name:   d.Source + "/" + d.Kind,
+		Detail: d.Detail,
+		VirtUS: float64(d.T) / float64(time.Microsecond),
+	})
 }
 
 // OnDone implements machine.Hook.

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"time"
 
 	"aapm/internal/cluster"
+	"aapm/internal/obs"
 	"aapm/internal/control"
 	"aapm/internal/experiment"
 	"aapm/internal/kernel"
@@ -81,7 +83,7 @@ func (s *Service) runSingle(ctx context.Context, j *Job) (Result, *trace.Run, er
 		RetainTraces: true,
 		Hooks: func(int) []machine.Hook {
 			return []machine.Hook{
-				newProgressHook(j.events, "", s.cfg.ProgressEvery),
+				newProgressHook(j.events, j.flight, "", s.cfg.ProgressEvery),
 				telemetry.NewObserver(s.reg, js.Workload, policy),
 			}
 		},
@@ -89,6 +91,7 @@ func (s *Service) runSingle(ctx context.Context, j *Job) (Result, *trace.Run, er
 	if err != nil {
 		return Result{}, nil, err
 	}
+	stepStart := time.Now()
 	for {
 		if err := ctx.Err(); err != nil {
 			return Result{}, nil, err
@@ -101,6 +104,17 @@ func (s *Service) runSingle(ctx context.Context, j *Job) (Result, *trace.Run, er
 		return Result{}, nil, err
 	}
 	run := batch.Result(0)
+	if tr := obs.FromContext(ctx); tr.Sampled() {
+		tr.Record(obs.Span{
+			Name:      "shard-step",
+			Start:     stepStart,
+			VirtDurUS: float64(run.Duration) / float64(time.Microsecond),
+			WallDurUS: float64(time.Since(stepStart)) / float64(time.Microsecond),
+			Attrs: map[string]float64{
+				"nodes": 1, "ticks": float64(len(run.Rows)),
+			},
+		})
+	}
 	return Result{
 		ID:          j.ID,
 		Workload:    run.Workload,
@@ -139,7 +153,7 @@ func (s *Service) runCluster(ctx context.Context, j *Job) (Result, *trace.Run, e
 		Chain:     chainFor(js.Chain),
 		Telemetry: s.reg,
 		Observe: func(i int, name string) machine.Hook {
-			return newProgressHook(j.events, name, s.cfg.ProgressEvery)
+			return newProgressHook(j.events, j.flight, name, s.cfg.ProgressEvery)
 		},
 	})
 	if err != nil {
@@ -251,7 +265,7 @@ func (s *Service) runExperiment(ctx context.Context, j *Job) (Result, *trace.Run
 		Parallelism: 1,
 		Ctx:         ctx,
 		Observer: func(workload, policy string) machine.Hook {
-			return newProgressHook(j.events, workload+"/"+policy, s.cfg.ProgressEvery)
+			return newProgressHook(j.events, j.flight, workload+"/"+policy, s.cfg.ProgressEvery)
 		},
 	})
 	if err != nil {

@@ -19,6 +19,11 @@ import (
 //	GET    /api/jobs/{id}/result  cached result JSON (?format=csv for the
 //	                              single-machine trace)
 //	GET    /api/jobs/{id}/events  NDJSON progress stream until terminal
+//	GET    /api/jobs/{id}/flight  flight-recorder dump (404 until one exists)
+//	GET    /api/trace/{jobID}     recorded spans (?format=perfetto for a
+//	                              Chrome trace-event rendering)
+//	GET    /api/slo               SLO objective burn-rate status
+//	GET    /healthz               200 healthy / 503 + breach reasons
 //
 // Mount it alongside the dash handler and /metrics on one mux (see
 // cmd/aapm-serve).
@@ -26,6 +31,9 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/jobs", s.handleJobs)
 	mux.HandleFunc("/api/jobs/", s.handleJob)
+	mux.HandleFunc("/api/trace/", s.handleTrace)
+	mux.HandleFunc("/api/slo", s.handleSLO)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
@@ -122,6 +130,11 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleEvents(w, r, j)
+	case "flight":
+		if !requireGet(w, r) {
+			return
+		}
+		s.handleFlight(w, j)
 	default:
 		httpError(w, http.StatusNotFound, "unknown job subresource")
 	}

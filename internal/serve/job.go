@@ -12,6 +12,7 @@ import (
 
 	"aapm/internal/control"
 	"aapm/internal/experiment"
+	"aapm/internal/obs"
 	"aapm/internal/pstate"
 	"aapm/internal/spec"
 	"aapm/internal/trace"
@@ -270,7 +271,18 @@ type Job struct {
 	cancelled bool   // DELETE was observed (distinguishes cancel from deadline)
 	cancel    context.CancelFunc
 	started   time.Time
+	enqueued  time.Time     // last submission/re-enqueue, for the queue-wait span
 	wall      time.Duration // run wall-clock once terminal
+
+	// traceID identifies the current run attempt's trace (re-minted on
+	// re-enqueue). The trace handle carries sampling and the span sink;
+	// the flight recorder is this attempt's always-on postmortem ring,
+	// with flightDump holding its marshaled dump once the attempt ends
+	// badly (failed/canceled/aborted, or terminal during an SLO burn).
+	traceID    string
+	trace      *obs.Trace
+	flight     *obs.FlightRecorder
+	flightDump []byte
 
 	result []byte     // marshaled Result, stored once at completion — cache hits are byte-identical
 	run    *trace.Run // single-machine run, for CSV rendering
@@ -282,6 +294,7 @@ type Status struct {
 	ID        string  `json:"id"`
 	State     State   `json:"state"`
 	Spec      JobSpec `json:"spec"`
+	TraceID   string  `json:"trace_id,omitempty"`
 	Error     string  `json:"error,omitempty"`
 	CacheHits uint64  `json:"cache_hits"`
 	WallMs    float64 `json:"wall_ms,omitempty"`
@@ -295,6 +308,7 @@ func (j *Job) status() Status {
 		ID:        j.ID,
 		State:     j.state,
 		Spec:      j.Spec,
+		TraceID:   j.traceID,
 		Error:     j.err,
 		CacheHits: j.hits,
 	}
@@ -302,6 +316,22 @@ func (j *Job) status() Status {
 		st.WallMs = float64(j.wall) / float64(time.Millisecond)
 	}
 	return st
+}
+
+// TraceID returns the job's current trace ID ("" before first
+// admission).
+func (j *Job) TraceID() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traceID
+}
+
+// announceLocked records a lifecycle change on both postmortem
+// surfaces: the NDJSON event stream and the flight recorder. Callers
+// hold j.mu.
+func (j *Job) announceLocked(st State, detail string) {
+	j.events.emit(progressEvent{Type: "state", State: st, Detail: detail})
+	j.flight.Note(obs.FlightEvent{Kind: "state", Name: string(st), Detail: detail})
 }
 
 // State returns the job's current state.

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+
+	"aapm/internal/obs"
+)
+
+// Names of the default SLO objectives the service feeds. Custom
+// Config.SLOObjectives sets reuse these names to keep the built-in
+// instrumentation flowing into them.
+const (
+	// SLOSubmitLatency is a latency objective over Submit wall time
+	// (every accepted submission, cache hits included).
+	SLOSubmitLatency = "submit_p99"
+	// SLOCompletionLatency is a latency objective over run wall time
+	// (every job that reached a worker).
+	SLOCompletionLatency = "completion_latency"
+	// SLOErrorRate is an events objective: failed/aborted outcomes
+	// spend the budget; done and deliberate cancels do not.
+	SLOErrorRate = "error_rate"
+	// SLOTenantFairness is a share objective over per-tenant
+	// completions, judged against the DRR TenantWeights.
+	SLOTenantFairness = "tenant_fairness"
+)
+
+// DefaultObjectives is the objective set a Service evaluates when
+// Config.SLOObjectives is nil: submit p99 ≤ 250 ms at a 1% budget,
+// completion latency ≤ 30 s at 5%, error rate ≤ 1%, and per-tenant
+// completion shares within 20% of the DRR weights. All use the
+// standard 5 m / 1 h burn windows with threshold 2.
+func DefaultObjectives(tenantWeights map[string]int) []obs.Objective {
+	weights := make(map[string]float64, len(tenantWeights))
+	for t, w := range tenantWeights {
+		if w > 0 {
+			weights[tenantLabel(t)] = float64(w)
+		}
+	}
+	return []obs.Objective{
+		{
+			Name:        SLOSubmitLatency,
+			Description: "99% of submissions admitted within 250ms",
+			TargetSec:   0.25, Budget: 0.01,
+		},
+		{
+			Name:        SLOCompletionLatency,
+			Description: "95% of runs complete within 30s of starting",
+			TargetSec:   30, Budget: 0.05,
+		},
+		{
+			Name:        SLOErrorRate,
+			Kind:        obs.KindEvents,
+			Description: "99% of runs end done (or deliberately canceled)",
+			Budget:      0.01,
+		},
+		{
+			Name:         SLOTenantFairness,
+			Kind:         obs.KindShare,
+			Description:  "per-tenant completion shares track the DRR weights",
+			MaxDeviation: 0.2,
+			Weights:      weights,
+			MinSamples:   20,
+		},
+	}
+}
+
+// SLO exposes the service's burn-rate engine (tests and embedders
+// inject observations or read status directly).
+func (s *Service) SLO() *obs.Engine { return s.slo }
+
+// Tracer exposes the service's span store.
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
+
+// handleSLO serves GET /api/slo: every objective's burn-rate state.
+func (s *Service) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.slo.Status())
+}
+
+// handleHealthz serves GET /healthz: 200 while no SLO objective
+// breaches, 503 with the breach reasons once one does — the shape load
+// balancers and the loadgen exit gate consume.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	healthy, reasons := s.slo.Healthy()
+	code := http.StatusOK
+	body := map[string]any{"healthy": healthy}
+	if !healthy {
+		code = http.StatusServiceUnavailable
+		body["reasons"] = reasons
+	}
+	writeJSON(w, code, body)
+}
+
+// traceStatus is the JSON shape of GET /api/trace/{jobID}.
+type traceStatus struct {
+	Job     string     `json:"job"`
+	TraceID string     `json:"trace_id,omitempty"`
+	Sampled bool       `json:"sampled"`
+	Dropped uint64     `json:"dropped,omitempty"`
+	Spans   []obs.Span `json:"spans"`
+}
+
+// handleTrace serves GET /api/trace/{jobID}: the job's current
+// attempt's recorded spans from the bounded span store. Unsampled
+// traces answer 200 with sampled=false and no spans (the trace ID is
+// real; the store just never saw it). ?format=perfetto renders the
+// spans as a Chrome trace-event JSON array instead.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/api/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusNotFound, "want /api/trace/{jobID}")
+		return
+	}
+	j, ok := s.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, ErrUnknownJob.Error())
+		return
+	}
+	tid := j.TraceID()
+	spans, dropped, sampled := s.tracer.Spans(tid)
+	if r.URL.Query().Get("format") == "perfetto" {
+		if !sampled {
+			httpError(w, http.StatusNotFound, "trace not sampled (raise TraceSampleRate or the tenant's rate)")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WritePerfetto(w, tid, spans)
+		return
+	}
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	writeJSON(w, http.StatusOK, traceStatus{
+		Job: j.ID, TraceID: tid, Sampled: sampled, Dropped: dropped, Spans: spans,
+	})
+}
+
+// handleFlight serves GET /api/jobs/{id}/flight: the flight-recorder
+// dump stored when the job's last attempt ended badly. 404 until (and
+// unless) a dump exists.
+func (s *Service) handleFlight(w http.ResponseWriter, j *Job) {
+	j.mu.Lock()
+	dump := j.flightDump
+	j.mu.Unlock()
+	if dump == nil {
+		httpError(w, http.StatusNotFound, "no flight-recorder dump for this job (dumps are stored when an attempt fails, aborts, or lands during an SLO burn)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(dump)
+}

@@ -48,11 +48,14 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"aapm/internal/obs"
 	"aapm/internal/telemetry"
+	"aapm/internal/trace"
 )
 
 // ErrUnknownJob reports a job ID the service has never seen.
@@ -108,6 +111,28 @@ type Config struct {
 	// series); nil allocates a registry private to this service.
 	Telemetry *telemetry.Registry
 
+	// TraceSampleRate is the head-sampling probability for job traces
+	// (obs.Config.SampleRate). 0 disables span recording — trace IDs
+	// are still minted and echoed in replies and event streams, but the
+	// span store sees no traffic and runs pay nothing.
+	TraceSampleRate float64
+	// TenantTraceRate overrides TraceSampleRate per tenant name.
+	TenantTraceRate map[string]float64
+	// TraceExport, when non-nil, tees every sampled span to a Perfetto
+	// trace-event stream.
+	TraceExport *telemetry.TraceEventWriter
+	// MaxTraces / MaxTraceSpans bound the in-process span store
+	// (obs.Config). 0 selects the obs defaults (256 / 512).
+	MaxTraces     int
+	MaxTraceSpans int
+	// FlightEvents is each job's flight-recorder ring capacity.
+	// 0 selects 128.
+	FlightEvents int
+	// SLOObjectives replaces the default objective set (submit latency,
+	// completion latency, error rate, tenant fairness) evaluated by the
+	// burn-rate engine behind /api/slo and /healthz.
+	SLOObjectives []obs.Objective
+
 	// beforeRun, when non-nil, runs in the worker goroutine after a
 	// job turns running and before it executes — a seam for tests in
 	// this package to hold workers at a known point. Unexported on
@@ -150,6 +175,8 @@ type Service struct {
 	tel     *serveTelemetry
 	q       *jobQueue
 	limiter *tenantLimiter
+	tracer  *obs.Tracer
+	slo     *obs.Engine
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -175,12 +202,24 @@ func New(cfg Config) *Service {
 		reg = telemetry.NewRegistry()
 	}
 	tel := newServeTelemetry(reg)
+	objectives := cfg.SLOObjectives
+	if objectives == nil {
+		objectives = DefaultObjectives(cfg.TenantWeights)
+	}
 	s := &Service{
 		cfg:     cfg,
 		reg:     reg,
 		tel:     tel,
 		store:   newJobStore(cfg.MaxJobs, cfg.MaxResultBytes),
 		limiter: newTenantLimiter(cfg.TenantRatePerSec, cfg.TenantBurst, cfg.now),
+		tracer: obs.NewTracer(obs.Config{
+			SampleRate:       cfg.TraceSampleRate,
+			TenantRate:       cfg.TenantTraceRate,
+			MaxTraces:        cfg.MaxTraces,
+			MaxSpansPerTrace: cfg.MaxTraceSpans,
+			Export:           cfg.TraceExport,
+		}),
+		slo: obs.NewEngine(objectives, cfg.now),
 	}
 	weightFor := func(tenant string) int { return cfg.TenantWeights[tenant] }
 	s.q = newJobQueue(cfg.QueueDepth, weightFor,
@@ -267,6 +306,7 @@ func (s *Service) EvictedReason(id string) (string, bool) {
 // would enqueue work spend an intake token when rate limiting is on;
 // an exhausted tenant bucket rejects with ErrRateLimited.
 func (s *Service) Submit(js JobSpec) (j *Job, created bool, err error) {
+	intakeStart := time.Now()
 	if s.closed.Load() {
 		return nil, false, ErrClosed
 	}
@@ -294,12 +334,15 @@ func (s *Service) Submit(js JobSpec) (j *Job, created bool, err error) {
 			j.result = nil
 			j.run = nil
 			j.wall = 0
-			j.events = newEventLog(s.cfg.EventBuffer)
-			j.events.publish(marshalEvent(progressEvent{Type: "state", State: StateQueued}))
+			// A re-enqueue is a fresh attempt: new trace, new flight
+			// ring, event sequence restarting at 1.
+			s.mintTraceLocked(j, intakeStart)
+			j.announceLocked(StateQueued, "")
 			j.mu.Unlock()
 			s.store.markLive(id)
 			s.tel.resultBytes.Set(float64(s.store.resultBytes()))
 			s.tel.transition(from, StateQueued)
+			s.slo.ObserveLatency(SLOSubmitLatency, time.Since(intakeStart).Seconds())
 			return j, true, nil
 		}
 		// Queued, running or done: the existing job satisfies this
@@ -307,10 +350,15 @@ func (s *Service) Submit(js JobSpec) (j *Job, created bool, err error) {
 		j.hits++
 		j.mu.Unlock()
 		s.tel.cacheHits.Inc()
+		s.slo.ObserveLatency(SLOSubmitLatency, time.Since(intakeStart).Seconds())
 		return j, false, nil
 	}
 
-	j = &Job{ID: id, Spec: norm, state: StateQueued, events: newEventLog(s.cfg.EventBuffer)}
+	// The trace, flight ring and event log must exist before admitLocked
+	// makes the job poppable — a worker may lock it the moment it hits
+	// the queue.
+	j = &Job{ID: id, Spec: norm, state: StateQueued}
+	s.mintTraceLocked(j, intakeStart)
 	if err := s.admitLocked(j); err != nil {
 		return nil, false, err
 	}
@@ -318,8 +366,30 @@ func (s *Service) Submit(js JobSpec) (j *Job, created bool, err error) {
 	s.evictLocked()
 	s.tel.cacheMiss.Inc()
 	s.tel.transition("", StateQueued)
-	j.events.publish(marshalEvent(progressEvent{Type: "state", State: StateQueued}))
+	j.mu.Lock()
+	j.announceLocked(StateQueued, "")
+	j.mu.Unlock()
+	s.slo.ObserveLatency(SLOSubmitLatency, time.Since(intakeStart).Seconds())
 	return j, true, nil
+}
+
+// mintTraceLocked starts a fresh trace + flight recorder for one run
+// attempt of j (first admission or re-enqueue), replaces the event log
+// so the NDJSON sequence restarts at 1 under the new trace ID, and
+// records the intake span. Callers hold s.mu, plus j.mu when j is
+// already shared (the re-enqueue path).
+func (s *Service) mintTraceLocked(j *Job, intakeStart time.Time) {
+	fl := obs.NewFlightRecorder(s.cfg.FlightEvents)
+	tr := s.tracer.Start(j.ID, j.Spec.Tenant, fl)
+	j.flight, j.trace, j.traceID = fl, tr, tr.TraceID()
+	j.flightDump = nil
+	j.enqueued = intakeStart
+	j.events = newJobEventLog(s.cfg.EventBuffer, j.ID, j.traceID)
+	tr.Record(obs.Span{
+		Name:      "intake",
+		Start:     intakeStart,
+		WallDurUS: float64(time.Since(intakeStart)) / float64(time.Microsecond),
+	})
 }
 
 // admitLocked passes j through the tenant rate limiter and onto the
@@ -407,11 +477,12 @@ func (s *Service) Cancel(id string) (State, error) {
 		j.state = StateCanceled
 		j.err = "canceled before start"
 		j.cancelled = true
-		j.events.publish(marshalEvent(progressEvent{Type: "state", State: StateCanceled, Detail: j.err}))
-		ev := j.events
+		j.announceLocked(StateCanceled, j.err)
+		ev, fl := j.events, j.flight
 		j.mu.Unlock()
 		ev.close()
 		s.tel.transition(StateQueued, StateCanceled)
+		s.dumpFlight(j, fl, StateCanceled)
 		s.noteTerminal(j, 0)
 		return StateCanceled, nil
 	case StateRunning:
@@ -441,7 +512,9 @@ func (s *Service) worker() {
 }
 
 // runJob executes one dequeued job under a fresh context with the
-// configured deadline and resolves its terminal state.
+// configured deadline and resolves its terminal state. The worker
+// goroutine carries pprof labels (tenant, job) for the duration, so
+// CPU profiles attribute simulation time to tenants and jobs.
 func (s *Service) runJob(j *Job) {
 	j.mu.Lock()
 	if j.state != StateQueued {
@@ -454,17 +527,37 @@ func (s *Service) runJob(j *Job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.started = time.Now()
-	j.events.publish(marshalEvent(progressEvent{Type: "state", State: StateRunning}))
+	tr, enqueued := j.trace, j.enqueued
+	j.announceLocked(StateRunning, "")
 	j.mu.Unlock()
+	tr.Record(obs.Span{
+		Name:      "queue-wait",
+		Start:     enqueued,
+		WallDurUS: float64(j.started.Sub(enqueued)) / float64(time.Microsecond),
+	})
 	s.tel.transition(StateQueued, StateRunning)
 	if s.cfg.beforeRun != nil {
 		s.cfg.beforeRun(j)
 	}
 
-	res, run, err := s.execute(ctx, j)
+	ctx = obs.NewContext(ctx, tr)
+	var res Result
+	var run *trace.Run
+	var err error
+	pprof.Do(ctx, pprof.Labels(
+		"aapm_tenant", tenantLabel(j.Spec.Tenant),
+		"aapm_job", j.ID,
+	), func(ctx context.Context) {
+		res, run, err = s.execute(ctx, j)
+	})
 	wall := time.Since(j.started)
 	s.tel.jobWall.Observe(wall.Seconds())
 	s.noteWall(wall)
+	tr.Record(obs.Span{
+		Name:      "run",
+		Start:     j.started,
+		WallDurUS: float64(wall) / float64(time.Microsecond),
+	})
 
 	to, detail := StateDone, ""
 	if err != nil {
@@ -501,15 +594,46 @@ func (s *Service) runJob(j *Job) {
 			resultLen = len(b)
 		}
 	}
-	j.events.publish(marshalEvent(progressEvent{Type: "state", State: to, Detail: detail}))
-	ev := j.events
+	j.announceLocked(to, detail)
+	ev, fl := j.events, j.flight
 	j.mu.Unlock()
 	ev.close()
 	s.tel.transition(StateRunning, to)
 	if to == StateDone {
 		s.tel.tenantCompleted(j.Spec.Tenant)
 	}
+
+	// Feed the SLO engine: completion latency for every finished run,
+	// the error budget (failed/aborted spend it; done and deliberate
+	// cancels do not), and the per-tenant fairness share on completions.
+	s.slo.ObserveLatency(SLOCompletionLatency, wall.Seconds())
+	s.slo.Observe(SLOErrorRate, to == StateDone || to == StateCanceled)
+	if to == StateDone {
+		s.slo.ObserveKey(SLOTenantFairness, tenantLabel(j.Spec.Tenant))
+	}
+	s.dumpFlight(j, fl, to)
 	s.noteTerminal(j, resultLen)
+}
+
+// dumpFlight persists the attempt's flight-recorder ring into the job
+// record when the outcome warrants a postmortem: any non-done terminal
+// state, or a terminal transition while an SLO objective is burning.
+func (s *Service) dumpFlight(j *Job, fl *obs.FlightRecorder, to State) {
+	if fl == nil {
+		return
+	}
+	if to == StateDone {
+		if healthy, _ := s.slo.Healthy(); healthy {
+			return
+		}
+	}
+	b, err := json.Marshal(fl.Dump())
+	if err != nil {
+		return // a FlightDump holds only scalars; Marshal cannot fail
+	}
+	j.mu.Lock()
+	j.flightDump = b
+	j.mu.Unlock()
 }
 
 // Shutdown gracefully stops the service: intake closes (submissions
@@ -527,11 +651,12 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		}
 		j.state = StateAborted
 		j.err = "service shut down before the job started"
-		j.events.publish(marshalEvent(progressEvent{Type: "state", State: StateAborted, Detail: j.err}))
-		ev := j.events
+		j.announceLocked(StateAborted, j.err)
+		ev, fl := j.events, j.flight
 		j.mu.Unlock()
 		ev.close()
 		s.tel.transition(StateQueued, StateAborted)
+		s.dumpFlight(j, fl, StateAborted)
 		s.noteTerminal(j, 0)
 	}
 	drained := make(chan struct{})
