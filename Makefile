@@ -138,6 +138,46 @@ serve-load-smoke:
 		-server-pid $$pid -settle 60s -max-submit-p99 250ms -json /tmp/loadgen-smoke.json; \
 	echo "serve load smoke OK"
 
+# Intent-orchestration smoke: aapm-serve hosts a resident fleet, a
+# declared power cap converges through the reconcile loop, and an
+# infeasible floor bounces with HTTP 422 plus a machine-readable
+# reason code.
+INTENT_SMOKE_ADDR ?= 127.0.0.1:18083
+.PHONY: intent-smoke
+intent-smoke:
+	go build -o /tmp/aapm-serve ./cmd/aapm-serve
+	@set -e; \
+	/tmp/aapm-serve -addr $(INTENT_SMOKE_ADDR) -fleet-nodes 8 -fleet-fanout 4 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do curl -sf $(INTENT_SMOKE_ADDR)/api/intents >/dev/null && break; sleep 0.1; done; \
+	id=$$(curl -sf -X POST $(INTENT_SMOKE_ADDR)/api/intents \
+		-d '{"kind":"cap","level":1,"group":0,"watts":30}' | jq -r .id); \
+	echo "declared cap $$id"; \
+	state=converging; \
+	for i in $$(seq 1 150); do \
+		state=$$(curl -sf $(INTENT_SMOKE_ADDR)/api/intents/$$id/status | jq -r .state); \
+		[ "$$state" = converged ] && break; \
+		sleep 0.1; \
+	done; \
+	[ "$$state" = converged ] || { echo "cap never converged"; exit 1; }; \
+	obs=$$(curl -sf $(INTENT_SMOKE_ADDR)/api/intents/$$id/status | jq .observed_w); \
+	echo "converged at $$obs W"; \
+	awk -v o="$$obs" 'BEGIN { exit !(o <= 30.000001) }' \
+		|| { echo "converged state over the 30 W cap"; exit 1; }; \
+	code=$$(curl -s -o /tmp/intent-reject.json -w '%{http_code}' -X POST \
+		$(INTENT_SMOKE_ADDR)/api/intents -d '{"kind":"floor","level":1,"group":1,"watts":500}'); \
+	[ "$$code" = 422 ] || { echo "infeasible floor answered $$code, want 422"; exit 1; }; \
+	jq -e '.reason.code == "floor-exceeds-cap" and .reason.detail != ""' /tmp/intent-reject.json >/dev/null \
+		|| { echo "422 without structured reason: $$(cat /tmp/intent-reject.json)"; exit 1; }; \
+	echo "intent smoke OK"
+
+# Intent reconcile, admission edge-case, and closed-loop suites under
+# the race detector, exactly as CI runs them.
+.PHONY: intent-race
+intent-race:
+	go test -race -count=1 ./internal/intent/
+	go test -race -count=1 -run 'TestIntentAPI|TestFleetHost|TestFleetHeterogeneousFloors|TestFleetGroupsValidation' ./internal/serve/ ./internal/cluster/
+
 # Sustained-churn regression (bounded store under ≫MaxJobs distinct
 # specs) under the race detector, exactly as CI runs it.
 .PHONY: serve-churn

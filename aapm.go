@@ -28,6 +28,7 @@ import (
 	"aapm/internal/cluster"
 	"aapm/internal/control"
 	"aapm/internal/faults"
+	"aapm/internal/intent"
 	"aapm/internal/kernel"
 	"aapm/internal/machine"
 	"aapm/internal/metrics"
@@ -241,6 +242,50 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) { return cluster.RunFleet(c
 // 10 ms intervals each — the stock population for fleet-scale
 // benchmarks.
 func SyntheticFleetNodes(n, ticks int) []ClusterNode { return cluster.SyntheticFleet(n, ticks) }
+
+// FleetGroupSpec declares a static per-group constraint (today a
+// guaranteed minimum budget) for one level-1 group of a fleet, via
+// FleetConfig.Groups.
+type FleetGroupSpec = cluster.GroupSpec
+
+// FleetControl is the fleet's control-plane seam: an implementation
+// observes per-group aggregates at every epoch barrier and answers
+// with budget directives and per-node overrides. IntentController is
+// the stock implementation; see the "Intent orchestration" section of
+// DESIGN.md.
+type FleetControl = cluster.FleetControl
+
+// IntentSpec declares one fleet intent: a power cap, minimum-
+// performance floor, drain, or priority weight on a node group.
+type IntentSpec = intent.Spec
+
+// IntentStatus reports one intent's reconcile state: converging or
+// converged, current enforcement phase, and the last observation.
+type IntentStatus = intent.Status
+
+// IntentReason is a machine-readable admission rejection (code +
+// human-readable detail).
+type IntentReason = intent.Reason
+
+// IntentCapability is the aggregate fleet capability intents are
+// admitted against; derive it from a FleetConfig with
+// IntentCapabilityOf.
+type IntentCapability = intent.Capability
+
+// IntentController reconciles admitted intents against a running
+// fleet; wire it in as FleetConfig.Control.
+type IntentController = intent.Controller
+
+// IntentConfig configures an IntentController.
+type IntentConfig = intent.Config
+
+// IntentCapabilityOf derives the admission capability from a fleet
+// configuration.
+func IntentCapabilityOf(cfg FleetConfig) IntentCapability { return intent.CapabilityOf(cfg) }
+
+// NewIntentController builds an intent controller over the given
+// capability; Submit intents to it and pass it as FleetConfig.Control.
+func NewIntentController(cfg IntentConfig) (*IntentController, error) { return intent.New(cfg) }
 
 // BatchNode binds one node's platform, workload and governor for a
 // batch-kernel run. The governor must be a fresh instance, exactly as

@@ -8,9 +8,15 @@
 // Usage:
 //
 //	aapm-loadgen [-addr http://localhost:8080] [-rate 50] [-duration 10s]
-//	             [-profile steady|flash|diurnal] [-tenants acme=2,dunder=1]
+//	             [-profile steady|flash|diurnal|soak] [-tenants acme=2,dunder=1]
 //	             [-server-pid N] [-json out.json]
 //	             [-max-submit-p99 250ms] [-fairness-tol 0.10]
+//
+// The soak profile is steady arrivals held long enough (the -duration
+// default rises to 60s) to push the server's bounded job store into
+// eviction steady-state; the report then includes the server's
+// evicted-jobs counter (scraped from /metrics) and its peak RSS
+// alongside the usual latency statistics.
 //
 // Each submission is a distinct spec (the seed increments), so every
 // accepted job exercises the full execute path rather than the result
@@ -49,8 +55,8 @@ import (
 func main() {
 	addr := flag.String("addr", "http://localhost:8080", "base URL of the aapm-serve instance")
 	rate := flag.Float64("rate", 50, "mean arrival rate, submissions/sec across all tenants")
-	duration := flag.Duration("duration", 10*time.Second, "arrival window")
-	profile := flag.String("profile", "steady", "arrival profile: steady, flash (4x crowd mid-run), diurnal (sinusoid)")
+	duration := flag.Duration("duration", 10*time.Second, "arrival window (the soak profile defaults to 60s when unset)")
+	profile := flag.String("profile", "steady", "arrival profile: steady, flash (4x crowd mid-run), diurnal (sinusoid), soak (steady, eviction steady-state)")
 	tenants := flag.String("tenants", "", "tenant mix as name=weight pairs, e.g. acme=2,dunder=1; empty = single default tenant")
 	workload := flag.String("workload", "ammp", "suite workload each job runs")
 	governor := flag.String("governor", "pm:limit=14.5", "governor spec for each job")
@@ -64,6 +70,20 @@ func main() {
 	sloReport := flag.String("slo-report", "", "write a BENCH_serve.json-style loadgen history entry, with the server's SLO burn-rate peaks from /api/slo, to this file (\"-\" = stdout)")
 	sloGate := flag.Bool("slo-gate", false, "fail if the server reports an SLO breach at run end")
 	flag.Parse()
+
+	// A soak needs time to fill MaxJobs and then churn past it; unless
+	// the caller pinned a window, hold the load for a minute.
+	if *profile == "soak" {
+		durationSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "duration" {
+				durationSet = true
+			}
+		})
+		if !durationSet {
+			*duration = 60 * time.Second
+		}
+	}
 
 	base := *addr
 	if strings.HasPrefix(base, ":") {
@@ -101,6 +121,7 @@ func main() {
 	windowEnd := g.run(*rate, *duration, prof, *seedBase)
 	g.await(*settle)
 	report := g.stats.report(*profile, *rate, *duration, peakRSS(*serverPID), windowEnd)
+	report.ServerEvicted = fetchEvicted(g.client, base)
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -143,6 +164,45 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "aapm-loadgen: ok — %d submitted, %d accepted, %d completed, %d rejected (429), 0 failures\n",
 		report.Submitted, report.Accepted, report.Completed, report.Rejected429)
+	if *profile == "soak" {
+		fmt.Fprintf(os.Stderr, "aapm-loadgen: soak — server evicted %d jobs (pollers saw %d vanish mid-poll), peak RSS %.1f MiB\n",
+			report.ServerEvicted, report.EvictedObserved, float64(report.PeakRSSBytes)/(1<<20))
+	}
+}
+
+// fetchEvicted scrapes the server's /metrics exposition and sums the
+// aapm_serve_jobs_evicted_total series across eviction reasons. -1
+// when the scrape fails (e.g. no /metrics mounted), so a soak report
+// distinguishes "no evictions" from "could not tell".
+func fetchEvicted(client *http.Client, base string) int64 {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return -1
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return -1
+	}
+	var total float64
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, serve.MetricEvicted) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		total += v
+	}
+	return int64(total)
 }
 
 // fetchSLO pulls the server's objective burn-rate status.
@@ -266,6 +326,10 @@ func profileFunc(name string) (func(t float64) float64, error) {
 	switch name {
 	case "steady":
 		return func(float64) float64 { return 1 }, nil
+	case "soak":
+		// Arrival-wise identical to steady; the profile's point is the
+		// long default window plus the eviction accounting in the report.
+		return func(float64) float64 { return 1 }, nil
 	case "flash":
 		// Baseline with a 4x flash crowd across the middle fifth:
 		// mean = 0.8*0.4 + 0.2*4*0.8... keep it simple: 0.8 base, 2.0
@@ -282,7 +346,7 @@ func profileFunc(name string) (func(t float64) float64, error) {
 			return (math.Pi / 2) * math.Sin(math.Pi*t)
 		}, nil
 	default:
-		return nil, fmt.Errorf("unknown -profile %q (want steady, flash, or diurnal)", name)
+		return nil, fmt.Errorf("unknown -profile %q (want steady, flash, diurnal, or soak)", name)
 	}
 }
 
@@ -451,21 +515,29 @@ type latencySummary struct {
 }
 
 type reportT struct {
-	Profile      string                  `json:"profile"`
-	TargetRate   float64                 `json:"target_rate_per_sec"`
-	WindowSec    float64                 `json:"window_sec"`
-	Submitted    int                     `json:"submitted"`
-	Accepted     int                     `json:"accepted"`
-	CacheHits    int                     `json:"cache_hits"`
-	Rejected429  int                     `json:"rejected_429"`
-	HTTP5xx      int                     `json:"http_5xx"`
-	OtherErrors  int                     `json:"other_errors"`
-	Completed    int                     `json:"completed"`
-	Submit       latencySummary          `json:"submit_latency"`
-	Completion   latencySummary          `json:"completion_latency"`
-	Tenants      map[string]*tenantStats `json:"tenants,omitempty"`
-	PeakRSSBytes int64                   `json:"peak_rss_bytes,omitempty"`
-	FirstError   string                  `json:"first_error,omitempty"`
+	Profile     string  `json:"profile"`
+	TargetRate  float64 `json:"target_rate_per_sec"`
+	WindowSec   float64 `json:"window_sec"`
+	Submitted   int     `json:"submitted"`
+	Accepted    int     `json:"accepted"`
+	CacheHits   int     `json:"cache_hits"`
+	Rejected429 int     `json:"rejected_429"`
+	HTTP5xx     int     `json:"http_5xx"`
+	OtherErrors int     `json:"other_errors"`
+	Completed   int     `json:"completed"`
+	// EvictedObserved counts accepted jobs whose poller saw them vanish
+	// from the bounded store (404 + evicted marker) before a terminal
+	// state — the client-visible face of eviction steady-state.
+	EvictedObserved int `json:"evicted_observed"`
+	// ServerEvicted is the server's evicted-jobs counter summed across
+	// eviction reasons, scraped from /metrics at run end; -1 when the
+	// scrape failed, distinguishing "none evicted" from "could not tell".
+	ServerEvicted int64                   `json:"server_evicted_total"`
+	Submit        latencySummary          `json:"submit_latency"`
+	Completion    latencySummary          `json:"completion_latency"`
+	Tenants       map[string]*tenantStats `json:"tenants,omitempty"`
+	PeakRSSBytes  int64                   `json:"peak_rss_bytes,omitempty"`
+	FirstError    string                  `json:"first_error,omitempty"`
 }
 
 // completion is one finished job's accounting sample.
@@ -480,6 +552,7 @@ type stats struct {
 	submitLat   []time.Duration
 	completeLat []time.Duration
 	completions []completion
+	evictedSeen int
 	cacheHits   int
 	http5xx     int
 	otherErrors int
@@ -542,6 +615,7 @@ func (s *stats) evictedBeforeSeen(tenant string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tenant(tenant).Completed++
+	s.evictedSeen++
 	s.completions = append(s.completions, completion{tenant, time.Now()})
 }
 
@@ -570,16 +644,17 @@ func (s *stats) report(profile string, rate float64, window time.Duration, rss i
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r := &reportT{
-		Profile:      profile,
-		TargetRate:   rate,
-		WindowSec:    window.Seconds(),
-		CacheHits:    s.cacheHits,
-		HTTP5xx:      s.http5xx,
-		OtherErrors:  s.otherErrors,
-		Submit:       summarize(s.submitLat),
-		Completion:   summarize(s.completeLat),
-		PeakRSSBytes: rss,
-		FirstError:   s.firstError,
+		Profile:         profile,
+		TargetRate:      rate,
+		WindowSec:       window.Seconds(),
+		CacheHits:       s.cacheHits,
+		EvictedObserved: s.evictedSeen,
+		HTTP5xx:         s.http5xx,
+		OtherErrors:     s.otherErrors,
+		Submit:          summarize(s.submitLat),
+		Completion:      summarize(s.completeLat),
+		PeakRSSBytes:    rss,
+		FirstError:      s.firstError,
 	}
 	for _, ts := range s.perTenant {
 		r.Submitted += ts.Submitted

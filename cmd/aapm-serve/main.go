@@ -11,6 +11,9 @@
 //	           [-tenant-rate R] [-tenant-burst B] [-pprof]
 //	           [-trace-sample 0.01] [-trace-tenant-sample a=1,b=0]
 //	           [-trace-out trace.json]
+//	           [-fleet-nodes N] [-fleet-levels 2] [-fleet-fanout 8]
+//	           [-fleet-budget W] [-fleet-epoch-ticks 10] [-fleet-ticks 400]
+//	           [-fleet-deadline 8]
 //
 // Quick start:
 //
@@ -20,6 +23,14 @@
 //	curl -s localhost:8080/api/jobs/<id>            # poll status
 //	curl -sN localhost:8080/api/jobs/<id>/events    # stream progress
 //	curl -s localhost:8080/api/jobs/<id>/result     # cached result
+//
+// With -fleet-nodes > 0 the service hosts a resident synthetic fleet
+// and mounts the declarative intent API:
+//
+//	aapm-serve -fleet-nodes 32 &
+//	curl -s -X POST localhost:8080/api/intents \
+//	  -d '{"kind":"cap","level":1,"group":0,"watts":60}'
+//	curl -s localhost:8080/api/intents/<id>/status   # poll convergence
 //
 // SIGINT/SIGTERM shuts down gracefully: intake stops, queued jobs are
 // marked aborted, running jobs drain (bounded by -drain-timeout).
@@ -58,6 +69,13 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0.01, "head-sampling rate for job traces in [0,1]")
 	traceTenant := flag.String("trace-tenant-sample", "", "per-tenant sampling overrides as name=rate pairs, e.g. acme=1,batch=0")
 	traceOut := flag.String("trace-out", "", "append sampled spans as a Chrome trace-event JSON file (viewable in Perfetto)")
+	fleetNodes := flag.Int("fleet-nodes", 0, "resident-fleet node count; > 0 hosts a fleet and enables /api/intents")
+	fleetLevels := flag.Int("fleet-levels", 2, "resident-fleet allocation-tree depth")
+	fleetFanout := flag.Int("fleet-fanout", 8, "resident-fleet group fanout")
+	fleetBudget := flag.Float64("fleet-budget", 0, "resident-fleet root power budget in watts (0 derives 12*nodes)")
+	fleetEpochTicks := flag.Int("fleet-epoch-ticks", 10, "resident-fleet reallocation period in ticks")
+	fleetTicks := flag.Int("fleet-ticks", 400, "resident-fleet generation length in ticks")
+	fleetDeadline := flag.Int("fleet-deadline", 0, "intent escalation deadline in reconcile epochs (0 = controller default)")
 	flag.Parse()
 
 	weights, err := parseWeights(*tenantWeights)
@@ -95,6 +113,7 @@ func main() {
 		TraceSampleRate:  *traceSample,
 		TenantTraceRate:  tenantRates,
 		TraceExport:      export,
+		Fleet:            fleetOptions(*fleetNodes, *fleetLevels, *fleetFanout, *fleetBudget, *fleetEpochTicks, *fleetTicks, *fleetDeadline),
 	})
 
 	// One mux: the job API, the dashboard (which also serves /metrics
@@ -105,6 +124,8 @@ func main() {
 	mux.Handle("/api/jobs/", svc.Handler())
 	mux.Handle("/api/trace/", svc.Handler())
 	mux.Handle("/api/slo", svc.Handler())
+	mux.Handle("/api/intents", svc.Handler())
+	mux.Handle("/api/intents/", svc.Handler())
 	mux.Handle("/healthz", svc.Handler())
 	mux.Handle("/", dash.NewHandler(dash.Options{Telemetry: reg, PProf: *pprofOn}))
 
@@ -120,6 +141,9 @@ func main() {
 	fmt.Printf("  submit:  POST http://%s/api/jobs\n", host)
 	fmt.Printf("  metrics: http://%s/metrics\n", host)
 	fmt.Printf("  health:  http://%s/healthz  (SLO burn: /api/slo, traces: /api/trace/{job})\n", host)
+	if *fleetNodes > 0 {
+		fmt.Printf("  intents: POST http://%s/api/intents  (resident fleet: %d nodes)\n", host, *fleetNodes)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -137,6 +161,23 @@ func main() {
 	}
 	if err := svc.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "aapm-serve: drain timed out; running jobs aborted")
+	}
+}
+
+// fleetOptions builds the resident-fleet config, or nil when no fleet
+// is requested.
+func fleetOptions(nodes, levels, fanout int, budget float64, epochTicks, ticks, deadline int) *serve.FleetOptions {
+	if nodes <= 0 {
+		return nil
+	}
+	return &serve.FleetOptions{
+		Nodes:           nodes,
+		Levels:          levels,
+		Fanout:          fanout,
+		BudgetW:         budget,
+		EpochTicks:      epochTicks,
+		GenerationTicks: ticks,
+		DeadlineEpochs:  deadline,
 	}
 }
 

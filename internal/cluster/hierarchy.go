@@ -32,6 +32,7 @@ import (
 
 	"aapm/internal/alloc"
 	"aapm/internal/control"
+	"aapm/internal/faults"
 	"aapm/internal/kernel"
 	"aapm/internal/machine"
 	"aapm/internal/metrics"
@@ -70,6 +71,20 @@ type FleetConfig struct {
 	// Fanout is the maximum children per group (consecutive node
 	// indices); 0 selects 64. Must be >= 2 when Levels > 1.
 	Fanout int
+	// Groups, when non-nil, defines the first interior level's groups
+	// (length must equal the level-1 group count, requires Levels >=
+	// 2): heterogeneous per-group guaranteed minima plumbed into the
+	// water-fill through alloc.Aggregate.MinW.
+	Groups []GroupSpec
+	// Control, when non-nil, is the control-plane hook: called at
+	// every reallocation epoch with the fleet's group observations,
+	// its directives (group floors/caps/weights, node pins/offlines)
+	// apply to that epoch's allocation. See FleetControl.
+	Control FleetControl
+	// Faults, when non-nil, supplies node i's fault-injection plan
+	// (nil result = no faults for that node), the PR-1 machinery the
+	// control plane's hard escalation is exercised against.
+	Faults func(i int) *faults.Plan
 	// RetainTraces keeps every node's per-interval rows. Off by
 	// default: at fleet scale the rows dwarf the simulation state.
 	RetainTraces bool
@@ -217,6 +232,29 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 	}
 	shape := fleetShapeOf(n, levels, fanout)
 
+	var staticMin []float64
+	if cfg.Groups != nil {
+		if levels < 2 {
+			return nil, fmt.Errorf("fleet: Groups requires Levels >= 2 (got %d)", levels)
+		}
+		if len(cfg.Groups) != shape.counts[1] {
+			return nil, fmt.Errorf("fleet: %d group specs for %d level-1 groups", len(cfg.Groups), shape.counts[1])
+		}
+		staticMin = make([]float64, len(cfg.Groups))
+		units := make([]int, len(cfg.Groups))
+		for g, gs := range cfg.Groups {
+			if gs.MinW < 0 || gs.MinW != gs.MinW {
+				return nil, fmt.Errorf("fleet: group %d MinW %g invalid", g, gs.MinW)
+			}
+			staticMin[g] = gs.MinW
+			lo := g * shape.spanSize[1]
+			units[g] = min(lo+shape.spanSize[1], n) - lo
+		}
+		if need := alloc.MinTotalW(floor, units, staticMin); need > cfg.BudgetW {
+			return nil, fmt.Errorf("fleet: budget %.1f W cannot cover the %.1f W of group minima", cfg.BudgetW, need)
+		}
+	}
+
 	// One ground truth (and so one p-state table) for the whole fleet:
 	// the per-node values are identical to what machine.New would build
 	// per node, so traces match the flat coordinator bit for bit, but a
@@ -234,11 +272,15 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 			name = node.Workload.Name
 		}
 		names[i] = name
-		m, err := machine.New(machine.Config{
+		mcfg := machine.Config{
 			Truth: truth,
 			Chain: cfg.Chain,
 			Seed:  cfg.Seed + int64(i)*7919,
-		})
+		}
+		if cfg.Faults != nil {
+			mcfg.Faults = cfg.Faults(i)
+		}
+		m, err := machine.New(mcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -259,10 +301,33 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 	}
 	eng := &batchEngine{b: bs}
 
+	// Control-plane state: node overrides are written post-barrier on
+	// the coordinator goroutine and read by the workers only after the
+	// next generation advance, so the pool's happens-before edges cover
+	// them. With Control nil none of this exists and the step function
+	// is the engine's, untouched.
+	ctl := cfg.Control
+	stepFn := eng.step
+	var nodeOv []NodeOverride
+	var ctlW []float64
+	ctlTicks := 0
+	if ctl != nil {
+		nodeOv = make([]NodeOverride, n)
+		if levels > 1 {
+			ctlW = make([]float64, shape.counts[1])
+		}
+		stepFn = func(i int) bool {
+			if nodeOv[i] == NodeOffline {
+				return false
+			}
+			return eng.step(i)
+		}
+	}
+
 	st := &stepper{
 		workers: workers,
 		n:       n,
-		step:    eng.step,
+		step:    stepFn,
 		stepped: make([]bool, n),
 		wall:    make([]metrics.WallClock, workers),
 	}
@@ -373,13 +438,21 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 	}
 	// aggregate rebuilds the interior summaries bottom-up from the
 	// fresh demand records. Stale leaves fold their held share into
-	// both ask and min; interior children are never stale.
+	// both ask and min; interior children are never stale. Static
+	// group minima and the control plane's epoch directives fold in
+	// after the child sums — with neither configured the loop is the
+	// plain sum, byte-identical to a control-free run.
 	pol := &allocators[0]
+	var dirGroups [][]GroupDirective
 	aggregate := func() {
 		for l := 1; l < levels; l++ {
 			kids := leafKids
 			if l > 1 {
 				kids = groupKids[l-1]
+			}
+			var dirs []GroupDirective
+			if l < len(dirGroups) {
+				dirs = dirGroups[l]
 			}
 			for g := range groupAggs[l] {
 				lo, hi := shape.childRange(l, g)
@@ -398,6 +471,27 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 					}
 					ga.minW += c.MinW(floor)
 					ga.askW += pol.EffectiveDesireW(c, floor)
+				}
+				if l == 1 && staticMin != nil && ga.minW < staticMin[g] {
+					ga.minW = staticMin[g]
+				}
+				if dirs != nil {
+					d := dirs[g]
+					if ga.minW < d.MinW {
+						ga.minW = d.MinW
+					}
+					if d.Weight > 0 && d.Weight != 1 {
+						ga.askW = ga.minW + d.Weight*(ga.askW-ga.minW)
+					}
+					if d.CapW > 0 {
+						c := d.CapW
+						if c < ga.minW {
+							c = ga.minW
+						}
+						if ga.askW > c {
+							ga.askW = c
+						}
+					}
 				}
 			}
 		}
@@ -451,6 +545,9 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 			if ft != nil && levels > 1 {
 				ft.groupW[1][i/fanout] += w
 			}
+			if ctlW != nil {
+				ctlW[i/fanout] += w
+			}
 		}
 		if !anyActive {
 			res.CoordWall.Add(time.Since(t0))
@@ -474,16 +571,51 @@ func RunFleetContext(ctx context.Context, cfg FleetConfig) (*FleetResult, error)
 		if ft != nil {
 			ft.tick(totalW, over, allActive, budgets)
 		}
+		if ctl != nil {
+			ctlTicks++
+		}
 
 		if tick > 0 && tick%epoch == 0 {
 			for i := range demands {
-				assembleDemand(&demands[i], eng.done(i), recentW[i], recentDPC[i], recentN[i], epochFresh[i], eng.seq(i), eng.lastDPC(i))
+				done := eng.done(i)
+				if nodeOv != nil && nodeOv[i] == NodeOffline {
+					done = true
+				}
+				assembleDemand(&demands[i], done, recentW[i], recentDPC[i], recentN[i], epochFresh[i], eng.seq(i), eng.lastDPC(i))
+			}
+			if ctl != nil {
+				dirGroups, nodeOv = runControlEpoch(ctl, controlEpochIn{
+					epoch: res.Epochs, tick: tick,
+					periodUS: float64(machines[0].SamplePeriod()) / float64(time.Microsecond),
+					budgetW:  cfg.BudgetW, floorW: floor,
+					shape: shape, demands: demands, budgets: budgets,
+					ctlW: ctlW, ctlTicks: ctlTicks, nodeOv: nodeOv,
+				})
+				ctlTicks = 0
+				if ctlW != nil {
+					clear(ctlW)
+				}
+				// Offlining takes effect in this epoch's allocation too:
+				// the released share must not sit on a dead node.
+				for i := range demands {
+					if nodeOv[i] == NodeOffline && demands[i].active {
+						demands[i] = demand{}
+					}
+				}
 			}
 			if levels == 1 {
 				distribute(0, 0, n, cfg.BudgetW)
 			} else {
 				aggregate()
 				distribute(levels-1, 0, shape.counts[levels-1], cfg.BudgetW)
+			}
+			if nodeOv != nil {
+				for i, ov := range nodeOv {
+					if ov == NodePinned {
+						limits[i] = pinLimitW
+						pms[i].SetLimit(pinLimitW)
+					}
+				}
 			}
 			res.Epochs++
 			spans.fleetEpoch(tick, cfg.BudgetW)

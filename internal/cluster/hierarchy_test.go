@@ -261,3 +261,109 @@ func TestFleetTelemetry(t *testing.T) {
 		}
 	}
 }
+
+// budgetRecorder observes per-epoch level-1 budgets through the
+// control-plane seam without issuing directives.
+type budgetRecorder struct {
+	budgets [][]float64
+}
+
+func (r *budgetRecorder) Epoch(o FleetEpochObs) FleetDirectives {
+	row := make([]float64, len(o.Groups))
+	for g, gr := range o.Groups {
+		row[g] = gr.BudgetW
+	}
+	r.budgets = append(r.budgets, row)
+	return FleetDirectives{}
+}
+
+// TestFleetHeterogeneousFloors pins the per-group minima path: a
+// static GroupSpec floor flows through alloc.Aggregate.MinW into the
+// water-fill, the floored group's grant never dips below its minimum
+// under budget scarcity, and the heterogeneous-floor allocation stays
+// byte-deterministic at any worker count.
+func TestFleetHeterogeneousFloors(t *testing.T) {
+	run := func(workers int, groups []GroupSpec) (*FleetResult, *budgetRecorder, []byte) {
+		rec := &budgetRecorder{}
+		res, err := RunFleet(FleetConfig{
+			BudgetW:      180,
+			Nodes:        SyntheticFleet(16, 120),
+			Seed:         5,
+			Chain:        sensor.NIDefault(),
+			Workers:      workers,
+			Levels:       2,
+			Fanout:       4,
+			EpochTicks:   10,
+			Groups:       groups,
+			Control:      rec,
+			RetainTraces: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rec, fleetCSV(t, res)
+	}
+	floors := []GroupSpec{{MinW: 80}, {}, {}, {}}
+	ref, rec, refCSV := run(1, floors)
+	if ref.Epochs < 3 {
+		t.Fatalf("degenerate run: %d epochs", ref.Epochs)
+	}
+	// The first control call still reports the bootstrap even split;
+	// every reallocated epoch after it must honor the floor.
+	for e, row := range rec.budgets[1:] {
+		if row[0] < 80-1e-9 {
+			t.Errorf("epoch %d: floored group granted %.2f W, floor 80", e+1, row[0])
+		}
+	}
+	// The floor binds: without it, scarcity leaves group 0 below 80 W.
+	_, base, _ := run(1, nil)
+	bound := false
+	for _, row := range base.budgets[1:] {
+		if row[0] < 80-1e-9 {
+			bound = true
+		}
+	}
+	if !bound {
+		t.Error("floor never bound: group 0 held >= 80 W even without it")
+	}
+	for _, workers := range []int{5, 8} {
+		res, rec2, csv := run(workers, floors)
+		diffLines(t, fmt.Sprintf("floors workers 1 vs %d", workers), refCSV, csv)
+		if res.MachineSeconds != ref.MachineSeconds || res.Epochs != ref.Epochs ||
+			res.PeakTotalW != ref.PeakTotalW {
+			t.Errorf("workers=%d aggregates diverge from serial", workers)
+		}
+		if len(rec2.budgets) != len(rec.budgets) {
+			t.Fatalf("workers=%d: %d control epochs vs %d", workers, len(rec2.budgets), len(rec.budgets))
+		}
+		for e := range rec.budgets {
+			for g := range rec.budgets[e] {
+				if rec.budgets[e][g] != rec2.budgets[e][g] {
+					t.Fatalf("workers=%d epoch %d group %d budget %v != %v",
+						workers, e, g, rec2.budgets[e][g], rec.budgets[e][g])
+				}
+			}
+		}
+	}
+}
+
+// TestFleetGroupsValidation pins the GroupSpec config error paths.
+func TestFleetGroupsValidation(t *testing.T) {
+	nodes := SyntheticFleet(8, 5)
+	if _, err := RunFleet(FleetConfig{BudgetW: 100, Nodes: nodes, Levels: 1,
+		Groups: []GroupSpec{{}}}); err == nil {
+		t.Error("Groups with one level accepted")
+	}
+	if _, err := RunFleet(FleetConfig{BudgetW: 100, Nodes: nodes, Levels: 2, Fanout: 4,
+		Groups: []GroupSpec{{}}}); err == nil {
+		t.Error("wrong Groups length accepted")
+	}
+	if _, err := RunFleet(FleetConfig{BudgetW: 100, Nodes: nodes, Levels: 2, Fanout: 4,
+		Groups: []GroupSpec{{MinW: -1}, {}}}); err == nil {
+		t.Error("negative group minimum accepted")
+	}
+	if _, err := RunFleet(FleetConfig{BudgetW: 100, Nodes: nodes, Levels: 2, Fanout: 4,
+		Groups: []GroupSpec{{MinW: 90}, {MinW: 90}}}); err == nil {
+		t.Error("group minima exceeding the budget accepted")
+	}
+}

@@ -285,6 +285,9 @@ body { font-family: system-ui, sans-serif; margin: 2rem; max-width: 70rem; }
 svg { border: 1px solid #ccc; width: 100%; height: 16rem; }
 label { margin-right: 1rem; }
 #summary { margin: 1rem 0; font-variant-numeric: tabular-nums; }
+#slo table { border-collapse: collapse; font-variant-numeric: tabular-nums; }
+#slo th, #slo td { border: 1px solid #ccc; padding: 0.2rem 0.6rem; text-align: left; }
+#slo .breach { color: #b00; font-weight: bold; }
 </style></head>
 <body>
 <h1>aapm — simulated Pentium M power management</h1>
@@ -295,6 +298,13 @@ label { margin-right: 1rem; }
 <label>seed <input id="seed" value="7" size="4"></label>
 <button id="go">run</button>
 <div id="summary"></div>
+<div id="slo" style="display:none">
+<h3>SLO burn rates</h3>
+<table><thead><tr>
+<th>objective</th><th>kind</th><th>fast burn</th><th>slow burn</th>
+<th>peak fast</th><th>peak slow</th><th>state</th>
+</tr></thead><tbody id="slorows"></tbody></table>
+</div>
 <h3>power (W)</h3><svg id="power" viewBox="0 0 1000 200" preserveAspectRatio="none"></svg>
 <h3>frequency (MHz)</h3><svg id="freq" viewBox="0 0 1000 200" preserveAspectRatio="none"></svg>
 <h3>die temperature (°C)</h3><svg id="temp" viewBox="0 0 1000 200" preserveAspectRatio="none"></svg>
@@ -328,6 +338,35 @@ function poly(svg, xs, ys) {
   label.textContent = lo.toFixed(1) + ' … ' + hi.toFixed(1);
   svg.appendChild(label);
 }
+// The SLO panel only appears when the dashboard shares a mux with the
+// run service (cmd/aapm-serve): a standalone dash has no /api/slo, the
+// fetch 404s, and the panel stays hidden.
+async function slo() {
+  let data;
+  try {
+    const resp = await fetch('/api/slo');
+    if (!resp.ok) return;
+    data = await resp.json();
+  } catch (e) { return; }
+  if (!data.objectives) return;
+  const tb = document.getElementById('slorows');
+  tb.innerHTML = '';
+  for (const o of data.objectives) {
+    const tr = document.createElement('tr');
+    const state = o.breaching ? 'BREACH — ' + (o.reason || 'burn over threshold') : 'ok';
+    const cells = [o.name, o.kind, o.fast_burn.toFixed(3), o.slow_burn.toFixed(3),
+                   o.peak_fast_burn.toFixed(3), o.peak_slow_burn.toFixed(3), state];
+    for (const v of cells) {
+      const td = document.createElement('td');
+      td.textContent = v;
+      tr.appendChild(td);
+    }
+    if (o.breaching) tr.className = 'breach';
+    tb.appendChild(tr);
+  }
+  document.getElementById('slo').style.display = '';
+  setTimeout(slo, 5000);
+}
 document.getElementById('go').onclick = async () => {
   const w = document.getElementById('workload').value;
   const g = encodeURIComponent(document.getElementById('gov').value);
@@ -345,6 +384,7 @@ document.getElementById('go').onclick = async () => {
   poly(document.getElementById('temp'), null, data.rows.map(r => r.temp_c));
 };
 init();
+slo();
 </script>
 </body></html>`))
 

@@ -33,6 +33,27 @@ func TestIndexServesHTML(t *testing.T) {
 	}
 }
 
+// TestIndexHasSLOPanel pins the burn-rate panel: the page ships a
+// hidden SLO section whose script polls /api/slo and reveals it only
+// when the endpoint answers (i.e. when the dash shares a mux with the
+// run service, as in cmd/aapm-serve).
+func TestIndexHasSLOPanel(t *testing.T) {
+	body := get(t, Handler(), "/").Body.String()
+	for _, want := range []string{
+		`id="slo"`, `id="slorows"`, "/api/slo",
+		"fast burn", "slow burn", "peak fast", "peak slow",
+		"o.breaching", "peak_fast_burn",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+	// The panel starts hidden: a standalone dash has no /api/slo.
+	if !strings.Contains(body, `<div id="slo" style="display:none">`) {
+		t.Error("SLO panel must start hidden")
+	}
+}
+
 func TestIndexNotFoundElsewhere(t *testing.T) {
 	rec := get(t, Handler(), "/nope")
 	if rec.Code != http.StatusNotFound {

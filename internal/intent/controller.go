@@ -1,0 +1,500 @@
+package intent
+
+import (
+	"fmt"
+	"sync"
+
+	"aapm/internal/cluster"
+	"aapm/internal/obs"
+	"aapm/internal/telemetry"
+)
+
+// Config describes a Controller.
+type Config struct {
+	// Capability is the fleet the intents are admitted against.
+	Capability Capability
+	// ConvergeEpochs is how many consecutive satisfied epochs declare
+	// an intent converged (0 → 2).
+	ConvergeEpochs int
+	// DeadlineEpochs is the default escalation deadline: epochs a
+	// phase may stay unconverged before the next rung fires (0 → 8).
+	DeadlineEpochs int
+	// Trace, when non-nil, receives one span per admission, rejection,
+	// escalation and convergence transition.
+	Trace *obs.Trace
+	// Flight, when non-nil, receives the same transitions as
+	// flight-recorder events.
+	Flight *obs.FlightRecorder
+	// Telemetry, when non-nil, receives the intent metric families.
+	Telemetry *telemetry.Registry
+}
+
+// Controller owns the admitted intent set and reconciles it against a
+// running fleet: it implements cluster.FleetControl, translating
+// intents into per-group directives and per-node overrides each epoch
+// and reading convergence back from the epoch observations. Submit,
+// Delete, Get and List are safe to call concurrently with Epoch; the
+// reconcile decisions themselves are a deterministic function of the
+// submission order and the observation sequence.
+type Controller struct {
+	cfg   Config
+	shape cluster.TreeShape
+	tel   *intentTelemetry
+
+	mu    sync.Mutex
+	recs  map[string]*record
+	order []*record
+	epoch int
+	// nodeOv is the directive scratch reused across epochs.
+	nodeOv []cluster.NodeOverride
+	log    []string
+}
+
+// record is one admitted intent's reconcile state.
+type record struct {
+	spec Spec
+	id   string
+
+	state       State
+	phase       Phase
+	admitted    int // controller epoch at admission
+	okRun       int // consecutive epochs satisfying the predicate
+	failRun     int // consecutive epochs failing it, this phase
+	convergedIn int // epochs admission→first convergence (0 = never yet)
+	escalations int
+	deadline    int
+
+	observedW      float64
+	observedActive int
+}
+
+// New builds a controller for the given fleet capability.
+func New(cfg Config) (*Controller, error) {
+	cfg.Capability = cfg.Capability.withDefaults()
+	if cfg.Capability.Nodes <= 0 {
+		return nil, fmt.Errorf("intent: capability has no nodes")
+	}
+	if cfg.Capability.BudgetW <= 0 {
+		return nil, fmt.Errorf("intent: capability has no budget")
+	}
+	if cfg.ConvergeEpochs <= 0 {
+		cfg.ConvergeEpochs = 2
+	}
+	if cfg.DeadlineEpochs <= 0 {
+		cfg.DeadlineEpochs = 8
+	}
+	c := &Controller{
+		cfg:    cfg,
+		shape:  cfg.Capability.shape(),
+		recs:   make(map[string]*record),
+		nodeOv: make([]cluster.NodeOverride, cfg.Capability.Nodes),
+	}
+	c.tel = newIntentTelemetry(cfg.Telemetry)
+	return c, nil
+}
+
+// Submit admits (or idempotently returns) an intent. created reports
+// whether this call added it; a non-nil Reason means it was rejected
+// and the other returns are zero.
+func (c *Controller) Submit(s Spec) (Status, bool, *Reason) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := s.ID()
+	if rec, ok := c.recs[id]; ok {
+		return c.statusLocked(rec), false, nil
+	}
+	admitted := make([]Spec, 0, len(c.order))
+	for _, rec := range c.order {
+		admitted = append(admitted, rec.spec)
+	}
+	if r := admit(c.cfg.Capability, c.shape, admitted, s); r != nil {
+		c.tel.rejected(r.Code)
+		c.note("reject", id, fmt.Sprintf("%s %s: %s", s.Kind, groupName(s), r.Code), 0)
+		return Status{}, false, r
+	}
+	rec := &record{
+		spec:     s,
+		id:       id,
+		state:    StateConverging,
+		phase:    PhaseSoft,
+		admitted: c.epoch,
+		deadline: s.DeadlineEpochs,
+	}
+	if rec.deadline <= 0 {
+		rec.deadline = c.cfg.DeadlineEpochs
+	}
+	c.recs[id] = rec
+	c.order = append(c.order, rec)
+	cving, cved := c.countsLocked()
+	c.tel.admitted(s.Kind, cving, cved)
+	c.note("admit", id, fmt.Sprintf("%s %s", s.Kind, groupName(s)), 0)
+	return c.statusLocked(rec), true, nil
+}
+
+// Delete removes an intent; its enforcement (including any pins or
+// offlines it drove) is withdrawn at the next epoch.
+func (c *Controller) Delete(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.recs[id]
+	if !ok {
+		return false
+	}
+	delete(c.recs, id)
+	for i, r := range c.order {
+		if r == rec {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	cving, cved := c.countsLocked()
+	c.tel.deleted(cving, cved)
+	c.note("delete", id, fmt.Sprintf("%s %s", rec.spec.Kind, groupName(rec.spec)), 0)
+	return true
+}
+
+// Get returns one intent's status.
+func (c *Controller) Get(id string) (Status, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.recs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return c.statusLocked(rec), true
+}
+
+// List returns every intent's status in admission order.
+func (c *Controller) List() []Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Status, 0, len(c.order))
+	for _, rec := range c.order {
+		out = append(out, c.statusLocked(rec))
+	}
+	return out
+}
+
+// Events returns the transition log (admit/reject/escalate/converge/
+// diverge/delete), a deterministic record of the reconcile history.
+func (c *Controller) Events() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// Epoch implements cluster.FleetControl: observe, update each
+// intent's convergence state, escalate the overdue, and emit the
+// epoch's directives. Called on the coordinator goroutine.
+func (c *Controller) Epoch(o cluster.FleetEpochObs) cluster.FleetDirectives {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	for _, rec := range c.order {
+		c.reconcileLocked(rec, o)
+	}
+	return c.directivesLocked()
+}
+
+// reconcileLocked updates one intent's observed state and fires the
+// escalation ladder when its deadline lapses.
+func (c *Controller) reconcileLocked(rec *record, o cluster.FleetEpochObs) {
+	ok := c.observeLocked(rec, o)
+	if ok {
+		rec.okRun++
+		rec.failRun = 0
+		if rec.okRun >= c.cfg.ConvergeEpochs && rec.state != StateConverged {
+			rec.state = StateConverged
+			if rec.convergedIn == 0 {
+				rec.convergedIn = c.epoch - rec.admitted
+				c.tel.converged(rec.convergedIn)
+			}
+			c.note("converge", rec.id, fmt.Sprintf("%s %s phase=%s observed=%.1fW", rec.spec.Kind, groupName(rec.spec), rec.phase, rec.observedW), o.VirtUS)
+		}
+		return
+	}
+	rec.okRun = 0
+	rec.failRun++
+	if rec.state == StateConverged {
+		rec.state = StateConverging
+		c.note("diverge", rec.id, fmt.Sprintf("%s %s observed=%.1fW", rec.spec.Kind, groupName(rec.spec), rec.observedW), o.VirtUS)
+	}
+	if next, can := nextPhase(rec.spec.Kind, rec.phase); can && rec.failRun >= rec.deadline {
+		rec.phase = next
+		rec.failRun = 0
+		rec.escalations++
+		c.tel.escalated(rec.spec.Kind, next)
+		c.note("escalate", rec.id, fmt.Sprintf("%s %s to=%s observed=%.1fW deadline=%d", rec.spec.Kind, groupName(rec.spec), next, rec.observedW, rec.deadline), o.VirtUS)
+	}
+}
+
+// nextPhase is the escalation ladder: caps go soft → pin → offline,
+// drains soft → offline; floors and prefers have no hard rung (they
+// are guarantees the allocator itself enforces).
+func nextPhase(k Kind, p Phase) (Phase, bool) {
+	switch k {
+	case KindCap:
+		switch p {
+		case PhaseSoft:
+			return PhasePin, true
+		case PhasePin:
+			return PhaseOffline, true
+		}
+	case KindDrain:
+		if p == PhaseSoft {
+			return PhaseOffline, true
+		}
+	}
+	return p, false
+}
+
+// observeLocked evaluates one intent's convergence predicate against
+// the epoch observation and refreshes its observed fields.
+func (c *Controller) observeLocked(rec *record, o cluster.FleetEpochObs) bool {
+	s := rec.spec
+	if s.Level == 0 {
+		// Single-leaf drain: converged when the leaf left service.
+		act := 0
+		if s.Group < len(o.NodeActive) && o.NodeActive[s.Group] {
+			act = 1
+		}
+		rec.observedActive = act
+		rec.observedW = 0
+		return act == 0
+	}
+	if o.Groups == nil {
+		return false
+	}
+	lo, hi := c.level1Range(s.Level, s.Group)
+	var power, budget float64
+	active := 0
+	for g := lo; g < hi && g < len(o.Groups); g++ {
+		power += o.Groups[g].AvgPowerW
+		budget += o.Groups[g].BudgetW
+		active += o.Groups[g].Active
+	}
+	rec.observedW = power
+	rec.observedActive = active
+	const tol = 1e-9
+	switch s.Kind {
+	case KindCap:
+		return power <= s.Watts*(1+tol)
+	case KindFloor:
+		// The floor is a budget guarantee: converged once the
+		// water-fill grants the subtree at least the floor (an idle
+		// subtree drawing less power than its guarantee still has it).
+		return budget >= s.Watts*(1-tol)
+	case KindDrain:
+		return active == 0
+	case KindPrefer:
+		// Weights apply to the very next allocation; declared
+		// converged once an epoch has passed with them in force.
+		return true
+	}
+	return false
+}
+
+// level1Range maps a level-l group to the range of level-1 groups
+// [lo, hi) covering the same leaves (level-1 groups are consecutive
+// leaf spans).
+func (c *Controller) level1Range(level, group int) (lo, hi int) {
+	leafLo, leafHi := c.shape.LeafRange(level, group)
+	spanLo, spanHi := c.shape.LeafRange(1, 0)
+	span := spanHi - spanLo
+	if span <= 0 {
+		return 0, 0
+	}
+	lo = leafLo / span
+	hi = (leafHi + span - 1) / span
+	if g1 := c.shape.Groups(1); hi > g1 {
+		hi = g1
+	}
+	return lo, hi
+}
+
+// directivesLocked renders the admitted set (at its current phases)
+// into the coordinator's directive form.
+func (c *Controller) directivesLocked() cluster.FleetDirectives {
+	levels := c.shape.Levels()
+	groups := make([][]cluster.GroupDirective, levels)
+	row := func(l int) []cluster.GroupDirective {
+		if groups[l] == nil {
+			groups[l] = make([]cluster.GroupDirective, c.shape.Groups(l))
+		}
+		return groups[l]
+	}
+	clear(c.nodeOv)
+	markLeaves := func(s Spec, ov cluster.NodeOverride) {
+		lo, hi := c.shape.LeafRange(s.Level, s.Group)
+		for i := lo; i < hi; i++ {
+			if ov > c.nodeOv[i] {
+				c.nodeOv[i] = ov
+			}
+		}
+	}
+	for _, rec := range c.order {
+		s := rec.spec
+		switch s.Kind {
+		case KindCap:
+			switch rec.phase {
+			case PhaseSoft:
+				d := &row(s.Level)[s.Group]
+				if d.CapW == 0 || s.Watts < d.CapW {
+					d.CapW = s.Watts
+				}
+			case PhasePin:
+				markLeaves(s, cluster.NodePinned)
+			case PhaseOffline:
+				markLeaves(s, cluster.NodeOffline)
+			}
+		case KindFloor:
+			d := &row(s.Level)[s.Group]
+			if s.Watts > d.MinW {
+				d.MinW = s.Watts
+			}
+		case KindPrefer:
+			row(s.Level)[s.Group].Weight = s.Weight
+		case KindDrain:
+			if rec.phase == PhaseOffline {
+				markLeaves(s, cluster.NodeOffline)
+				continue
+			}
+			if s.Level >= 1 {
+				// Soft drain: cap the covered level-1 groups at their
+				// guaranteed minima so they coast down while their work
+				// finishes.
+				lo, hi := c.level1Range(s.Level, s.Group)
+				for g := lo; g < hi; g++ {
+					m := c.cfg.Capability.groupMinOf(c.shape, g)
+					d := &row(1)[g]
+					if d.CapW == 0 || m < d.CapW {
+						d.CapW = m
+					}
+				}
+			}
+		}
+	}
+	return cluster.FleetDirectives{Groups: groups, Nodes: c.nodeOv}
+}
+
+// statusLocked renders one record.
+func (c *Controller) statusLocked(rec *record) Status {
+	st := Status{
+		ID:              rec.id,
+		Spec:            rec.spec,
+		State:           rec.state,
+		Phase:           rec.phase,
+		Epochs:          c.epoch - rec.admitted,
+		OKEpochs:        rec.okRun,
+		ConvergedEpochs: rec.convergedIn,
+		Escalations:     rec.escalations,
+		ObservedW:       rec.observedW,
+		ObservedActive:  rec.observedActive,
+	}
+	if rec.spec.Kind == KindCap || rec.spec.Kind == KindFloor {
+		st.TargetW = rec.spec.Watts
+	}
+	return st
+}
+
+// countsLocked is the active-intent gauge input: converging and
+// converged counts.
+func (c *Controller) countsLocked() (converging, converged int) {
+	for _, rec := range c.order {
+		if rec.state == StateConverged {
+			converged++
+		} else {
+			converging++
+		}
+	}
+	return
+}
+
+// note appends to the bounded transition log, records the obs span
+// and the flight event.
+func (c *Controller) note(event, id, detail string, virtUS float64) {
+	line := fmt.Sprintf("epoch=%d %s %s %s", c.epoch, event, id, detail)
+	if len(c.log) < 4096 {
+		c.log = append(c.log, line)
+	}
+	c.cfg.Trace.Record(obs.Span{
+		Name:   "intent-" + event,
+		VirtUS: virtUS,
+		Attrs:  map[string]float64{"epoch": float64(c.epoch)},
+	})
+	c.cfg.Flight.Note(obs.FlightEvent{
+		Kind: "intent", Name: event, Detail: id + " " + detail, VirtUS: virtUS,
+	})
+}
+
+// intentTelemetry owns the intent metric families; nil-safe when no
+// registry is configured.
+type intentTelemetry struct {
+	admittedF  *telemetry.Family
+	rejectedF  *telemetry.Family
+	escalatedF *telemetry.Family
+	convEpochs *telemetry.Series
+	activeConv *telemetry.Series
+	activeDone *telemetry.Series
+}
+
+var convergenceBuckets = []float64{1, 2, 3, 5, 8, 13, 21, 34, 55}
+
+func newIntentTelemetry(reg *telemetry.Registry) *intentTelemetry {
+	if reg == nil {
+		return nil
+	}
+	t := &intentTelemetry{
+		admittedF:  reg.Counter("aapm_intent_admitted_total", "Intents admitted, by kind.", "kind"),
+		rejectedF:  reg.Counter("aapm_intent_rejected_total", "Intents rejected at admission, by machine-readable reason.", "reason"),
+		escalatedF: reg.Counter("aapm_intent_escalations_total", "Escalation-ladder transitions, by intent kind and target phase.", "kind", "phase"),
+	}
+	t.convEpochs = reg.Histogram("aapm_intent_convergence_epochs", "Reconcile epochs from admission to first convergence.", convergenceBuckets).With()
+	active := reg.Gauge("aapm_intent_active", "Admitted intents, by reconcile state.", "state")
+	t.activeConv = active.With(string(StateConverging))
+	t.activeDone = active.With(string(StateConverged))
+	return t
+}
+
+func (t *intentTelemetry) admitted(k Kind, converging, converged int) {
+	if t == nil {
+		return
+	}
+	t.admittedF.With(string(k)).Inc()
+	t.gauges(converging, converged)
+}
+
+func (t *intentTelemetry) rejected(code string) {
+	if t == nil {
+		return
+	}
+	t.rejectedF.With(code).Inc()
+}
+
+func (t *intentTelemetry) escalated(k Kind, p Phase) {
+	if t == nil {
+		return
+	}
+	t.escalatedF.With(string(k), string(p)).Inc()
+}
+
+func (t *intentTelemetry) converged(epochs int) {
+	if t == nil {
+		return
+	}
+	t.convEpochs.Observe(float64(epochs))
+}
+
+func (t *intentTelemetry) deleted(converging, converged int) {
+	if t == nil {
+		return
+	}
+	t.gauges(converging, converged)
+}
+
+func (t *intentTelemetry) gauges(converging, converged int) {
+	t.activeConv.Set(float64(converging))
+	t.activeDone.Set(float64(converged))
+}

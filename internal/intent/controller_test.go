@@ -1,0 +1,276 @@
+package intent
+
+import (
+	"strings"
+	"testing"
+
+	"aapm/internal/cluster"
+	"aapm/internal/obs"
+	"aapm/internal/telemetry"
+)
+
+func newTestController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	if cfg.Capability.Nodes == 0 {
+		cfg.Capability = Capability{Nodes: 8, Levels: 2, Fanout: 4, BudgetW: 128}
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// obsAt builds a synthetic two-group epoch observation.
+func obsAt(epoch int, g0W, g1W float64, active int) cluster.FleetEpochObs {
+	nodeActive := make([]bool, 8)
+	for i := range nodeActive {
+		nodeActive[i] = i/4 != 0 || i%4 < active
+	}
+	return cluster.FleetEpochObs{
+		Epoch: epoch, Tick: epoch * 10, VirtUS: float64(epoch) * 1e5,
+		BudgetW: 128, FloorW: 4,
+		Groups: []cluster.GroupObs{
+			{AvgPowerW: g0W, BudgetW: 64, Nodes: 4, Active: active},
+			{AvgPowerW: g1W, BudgetW: 64, Nodes: 4, Active: 4},
+		},
+		NodeActive: nodeActive,
+	}
+}
+
+func TestSubmitIdempotentAndDelete(t *testing.T) {
+	c := newTestController(t, Config{})
+	s := Spec{Kind: KindCap, Level: 1, Group: 0, Watts: 40}
+	st, created, r := c.Submit(s)
+	if r != nil || !created {
+		t.Fatalf("first submit: created=%v reason=%v", created, r)
+	}
+	if st.ID != s.ID() || st.State != StateConverging || st.Phase != PhaseSoft {
+		t.Errorf("fresh status %+v", st)
+	}
+	st2, created2, r2 := c.Submit(s)
+	if r2 != nil || created2 {
+		t.Fatalf("resubmit: created=%v reason=%v, want idempotent no-op", created2, r2)
+	}
+	if st2.ID != st.ID {
+		t.Errorf("resubmit changed ID: %s vs %s", st2.ID, st.ID)
+	}
+	if got := len(c.List()); got != 1 {
+		t.Fatalf("%d intents after resubmit, want 1", got)
+	}
+	if !c.Delete(st.ID) {
+		t.Fatal("delete failed")
+	}
+	if c.Delete(st.ID) {
+		t.Fatal("second delete succeeded")
+	}
+	if _, ok := c.Get(st.ID); ok {
+		t.Fatal("deleted intent still visible")
+	}
+	if _, created3, r3 := c.Submit(s); r3 != nil || !created3 {
+		t.Fatalf("submit after delete: created=%v reason=%v", created3, r3)
+	}
+}
+
+func TestSubmitRejectsInfeasible(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := newTestController(t, Config{Telemetry: reg})
+	_, _, r := c.Submit(Spec{Kind: KindCap, Level: 1, Group: 0, Watts: 10})
+	if r == nil || r.Code != ReasonCapBelowFloor {
+		t.Fatalf("infeasible cap: reason %v", r)
+	}
+	if r.Detail == "" || !strings.Contains(r.Error(), ReasonCapBelowFloor) {
+		t.Errorf("reason not self-describing: %+v", r)
+	}
+	if got := len(c.List()); got != 0 {
+		t.Errorf("%d intents admitted after rejection", got)
+	}
+	if v := reg.Counter("aapm_intent_rejected_total", "Intents rejected at admission, by machine-readable reason.", "reason").With(ReasonCapBelowFloor).Value(); v != 1 {
+		t.Errorf("rejected counter = %v, want 1", v)
+	}
+}
+
+// TestEscalationLadder drives the controller with synthetic
+// observations of a group stuck above its cap: the soft directive
+// appears immediately, the pin rung fires after the deadline, the
+// offline rung after another, and convergence follows once power
+// collapses.
+func TestEscalationLadder(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	flight := obs.NewFlightRecorder(64)
+	tracer := obs.NewTracer(obs.Config{SampleRate: 1})
+	tr := tracer.Start("intents", "", flight)
+	c := newTestController(t, Config{
+		ConvergeEpochs: 2, DeadlineEpochs: 2,
+		Trace: tr, Flight: flight, Telemetry: reg,
+	})
+	s := Spec{Kind: KindCap, Level: 1, Group: 0, Watts: 40}
+	if _, _, r := c.Submit(s); r != nil {
+		t.Fatal(r)
+	}
+
+	// Epoch 1: stuck at 57 W — soft cap directive, no escalation yet.
+	d := c.Epoch(obsAt(1, 57, 55, 4))
+	if got := d.Groups[1][0].CapW; got != 40 {
+		t.Fatalf("soft cap directive = %v, want 40", got)
+	}
+	for i, ov := range d.Nodes {
+		if ov != cluster.NodeAuto {
+			t.Fatalf("node %d overridden before deadline: %v", i, ov)
+		}
+	}
+
+	// Epoch 2: deadline (2 epochs in soft) lapses — pin rung.
+	d = c.Epoch(obsAt(2, 57, 55, 4))
+	for i := 0; i < 4; i++ {
+		if d.Nodes[i] != cluster.NodePinned {
+			t.Fatalf("node %d = %v after pin escalation", i, d.Nodes[i])
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if d.Nodes[i] != cluster.NodeAuto {
+			t.Fatalf("sibling node %d overridden: %v", i, d.Nodes[i])
+		}
+	}
+	st, _ := c.Get(s.ID())
+	if st.Phase != PhasePin || st.Escalations != 1 {
+		t.Fatalf("after pin: %+v", st)
+	}
+
+	// Epochs 3-4: pin does not help either — offline rung.
+	c.Epoch(obsAt(3, 57, 55, 4))
+	d = c.Epoch(obsAt(4, 57, 55, 4))
+	for i := 0; i < 4; i++ {
+		if d.Nodes[i] != cluster.NodeOffline {
+			t.Fatalf("node %d = %v after offline escalation", i, d.Nodes[i])
+		}
+	}
+	st, _ = c.Get(s.ID())
+	if st.Phase != PhaseOffline || st.Escalations != 2 {
+		t.Fatalf("after offline: %+v", st)
+	}
+
+	// Epochs 5-6: the group is gone; two quiet epochs converge it.
+	c.Epoch(obsAt(5, 0, 55, 0))
+	c.Epoch(obsAt(6, 0, 55, 0))
+	st, _ = c.Get(s.ID())
+	if st.State != StateConverged || st.Phase != PhaseOffline {
+		t.Fatalf("final status %+v", st)
+	}
+	if st.ObservedW != 0 || st.ObservedActive != 0 {
+		t.Errorf("observed %+v after offline", st)
+	}
+
+	// Every transition is on the record: events, spans, flight,
+	// telemetry.
+	events := strings.Join(c.Events(), "\n")
+	for _, want := range []string{"admit", "escalate", "to=pin", "to=offline", "converge"} {
+		if !strings.Contains(events, want) {
+			t.Errorf("events missing %q:\n%s", want, events)
+		}
+	}
+	spans, _, ok := tracer.Spans(tr.ID)
+	if !ok {
+		t.Fatal("trace not sampled")
+	}
+	var names []string
+	for _, sp := range spans {
+		names = append(names, sp.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"intent-admit", "intent-escalate", "intent-converge"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("spans missing %q: %v", want, names)
+		}
+	}
+	if n := len(flight.Dump().Events); n == 0 {
+		t.Error("flight recorder empty")
+	}
+	esc := reg.Counter("aapm_intent_escalations_total", "Escalation-ladder transitions, by intent kind and target phase.", "kind", "phase")
+	if v := esc.With(string(KindCap), string(PhasePin)).Value(); v != 1 {
+		t.Errorf("pin escalation counter = %v", v)
+	}
+	if v := esc.With(string(KindCap), string(PhaseOffline)).Value(); v != 1 {
+		t.Errorf("offline escalation counter = %v", v)
+	}
+}
+
+// TestDirectiveRendering covers the non-cap kinds: floors become MinW
+// raises, prefers weight scaling, drains cap the covered groups at
+// their guaranteed minima and escalate straight to offline.
+func TestDirectiveRendering(t *testing.T) {
+	c := newTestController(t, Config{ConvergeEpochs: 2, DeadlineEpochs: 3})
+	for _, s := range []Spec{
+		{Kind: KindFloor, Level: 1, Group: 1, Watts: 50},
+		{Kind: KindPrefer, Level: 1, Group: 1, Weight: 2},
+		{Kind: KindDrain, Level: 1, Group: 0},
+	} {
+		if _, _, r := c.Submit(s); r != nil {
+			t.Fatalf("%+v rejected: %v", s, r)
+		}
+	}
+	d := c.Epoch(obsAt(1, 20, 55, 4))
+	if got := d.Groups[1][1].MinW; got != 50 {
+		t.Errorf("floor MinW = %v, want 50", got)
+	}
+	if got := d.Groups[1][1].Weight; got != 2 {
+		t.Errorf("prefer Weight = %v, want 2", got)
+	}
+	// Drained group 0 is capped at its guaranteed minimum (4 x 4 W).
+	if got := d.Groups[1][0].CapW; got != 16 {
+		t.Errorf("drain soft CapW = %v, want 16", got)
+	}
+
+	// A drained group that never quiesces goes offline at the deadline.
+	for e := 2; e <= 4; e++ {
+		d = c.Epoch(obsAt(e, 20, 55, 4))
+	}
+	for i := 0; i < 4; i++ {
+		if d.Nodes[i] != cluster.NodeOffline {
+			t.Fatalf("node %d = %v after drain deadline", i, d.Nodes[i])
+		}
+	}
+
+	// Floor convergence is budget-based: group 1's 64 W grant covers
+	// the 50 W floor, so it converges without escalation.
+	st, _ := c.Get(Spec{Kind: KindFloor, Level: 1, Group: 1, Watts: 50}.ID())
+	if st.State != StateConverged || st.Escalations != 0 {
+		t.Errorf("floor status %+v", st)
+	}
+	// Prefer converges trivially.
+	st, _ = c.Get(Spec{Kind: KindPrefer, Level: 1, Group: 1, Weight: 2}.ID())
+	if st.State != StateConverged {
+		t.Errorf("prefer status %+v", st)
+	}
+}
+
+// TestSingleNodeDrain pins the level-0 drain path: the override hits
+// exactly one leaf and convergence reads the node-active bit.
+func TestSingleNodeDrain(t *testing.T) {
+	c := newTestController(t, Config{ConvergeEpochs: 2, DeadlineEpochs: 1})
+	s := Spec{Kind: KindDrain, Level: 0, Group: 2}
+	if _, _, r := c.Submit(s); r != nil {
+		t.Fatal(r)
+	}
+	// Node 2 still active past the deadline: offline override fires.
+	c.Epoch(obsAt(1, 57, 55, 4))
+	d := c.Epoch(obsAt(2, 57, 55, 4))
+	for i, ov := range d.Nodes {
+		want := cluster.NodeAuto
+		if i == 2 {
+			want = cluster.NodeOffline
+		}
+		if ov != want {
+			t.Fatalf("node %d override = %v, want %v", i, ov, want)
+		}
+	}
+	// Two epochs with the node inactive converge the drain: obsAt
+	// marks group-0 leaves [active..4) inactive, so active=2 covers
+	// node 2.
+	c.Epoch(obsAt(3, 30, 55, 2))
+	c.Epoch(obsAt(4, 30, 55, 2))
+	st, _ := c.Get(s.ID())
+	if st.State != StateConverged || st.ObservedActive != 0 {
+		t.Fatalf("drain status %+v", st)
+	}
+}

@@ -1,0 +1,203 @@
+package intent
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"aapm/internal/cluster"
+	"aapm/internal/faults"
+	"aapm/internal/obs"
+	"aapm/internal/sensor"
+)
+
+// demoFleet is the closed-loop fixture: 16 nodes, two levels, four
+// groups of four, reallocating every 10 ticks. Unconstrained groups
+// draw ~55-57 W, so a 40 W cap binds without being unreachable.
+func demoFleet() cluster.FleetConfig {
+	return cluster.FleetConfig{
+		BudgetW:    16 * 16,
+		Nodes:      cluster.SyntheticFleet(16, 200),
+		Seed:       7,
+		Chain:      sensor.NIDefault(),
+		Levels:     2,
+		Fanout:     4,
+		EpochTicks: 10,
+	}
+}
+
+// TestClosedLoopCapConverges is the demo acceptance: a cap intent on
+// one group of a live two-level fleet converges in the soft phase —
+// the epoch-average group power drops under the cap within the run —
+// and an infeasible intent is rejected with a structured reason.
+func TestClosedLoopCapConverges(t *testing.T) {
+	cfg := demoFleet()
+	ctl, err := New(Config{Capability: CapabilityOf(cfg), ConvergeEpochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Kind: KindCap, Level: 1, Group: 0, Watts: 40}
+	st, created, r := ctl.Submit(spec)
+	if r != nil || !created {
+		t.Fatalf("submit: created=%v reason=%v", created, r)
+	}
+	if st.State != StateConverging {
+		t.Fatalf("pre-run state %v", st.State)
+	}
+
+	// Infeasible intents bounce at admission with machine-readable
+	// reasons while the feasible one stands.
+	if _, _, r := ctl.Submit(Spec{Kind: KindFloor, Level: 1, Group: 1, Watts: 250}); r == nil || r.Code != ReasonFloorExceedsCap {
+		t.Fatalf("infeasible floor: reason %v", r)
+	}
+	if _, _, r := ctl.Submit(Spec{Kind: KindCap, Level: 1, Group: 1, Watts: 10}); r == nil || r.Code != ReasonCapBelowFloor {
+		t.Fatalf("infeasible cap: reason %v", r)
+	}
+
+	cfg.Control = ctl
+	res, err := cluster.RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs < 6 {
+		t.Fatalf("only %d epochs, cap cannot converge", res.Epochs)
+	}
+	st, ok := ctl.Get(spec.ID())
+	if !ok {
+		t.Fatal("intent vanished")
+	}
+	if st.State != StateConverged {
+		t.Fatalf("cap did not converge: %+v\nevents:\n%s", st, strings.Join(ctl.Events(), "\n"))
+	}
+	if st.Phase != PhaseSoft || st.Escalations != 0 {
+		t.Errorf("cap needed escalation: %+v", st)
+	}
+	if st.ObservedW > spec.Watts+1e-9 {
+		t.Errorf("converged at %.2f W over the %.0f W cap", st.ObservedW, spec.Watts)
+	}
+	if st.ConvergedEpochs == 0 || st.ConvergedEpochs > res.Epochs {
+		t.Errorf("ConvergedEpochs = %d of %d", st.ConvergedEpochs, res.Epochs)
+	}
+}
+
+// TestClosedLoopDeterministic pins the control loop into the fleet's
+// determinism contract: identical intent sets produce byte-identical
+// traces, energies and reconcile histories at any worker count.
+func TestClosedLoopDeterministic(t *testing.T) {
+	run := func(workers int) ([]byte, []string, []float64) {
+		cfg := demoFleet()
+		cfg.Workers = workers
+		cfg.RetainTraces = true
+		ctl, err := New(Config{Capability: CapabilityOf(cfg), ConvergeEpochs: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []Spec{
+			{Kind: KindCap, Level: 1, Group: 0, Watts: 40},
+			{Kind: KindFloor, Level: 1, Group: 2, Watts: 70},
+			{Kind: KindPrefer, Level: 1, Group: 3, Weight: 2},
+			{Kind: KindDrain, Level: 0, Group: 5},
+		} {
+			if _, _, r := ctl.Submit(s); r != nil {
+				t.Fatalf("%+v rejected: %v", s, r)
+			}
+		}
+		cfg.Control = ctl
+		res, err := cluster.RunFleet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		energies := make([]float64, 0, len(res.Runs))
+		for i, r := range res.Runs {
+			fmt.Fprintf(&buf, "# node %d %s\n", i, res.Names[i])
+			if err := r.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			energies = append(energies, r.EnergyJ)
+		}
+		return buf.Bytes(), ctl.Events(), energies
+	}
+	refCSV, refEvents, refEnergy := run(1)
+	for _, workers := range []int{4, 7} {
+		csv, events, energy := run(workers)
+		if !bytes.Equal(refCSV, csv) {
+			t.Errorf("workers=%d: traces diverge from serial", workers)
+		}
+		if strings.Join(events, "\n") != strings.Join(refEvents, "\n") {
+			t.Errorf("workers=%d: reconcile histories diverge:\n%s\nvs\n%s",
+				workers, strings.Join(events, "\n"), strings.Join(refEvents, "\n"))
+		}
+		for i := range refEnergy {
+			if energy[i] != refEnergy[i] {
+				t.Errorf("workers=%d: node %d energy %v != %v", workers, i, energy[i], refEnergy[i])
+			}
+		}
+	}
+}
+
+// TestClosedLoopEscalatesUnderActuatorFailure injects total actuator
+// failure into one group: its nodes can never leave the top p-state,
+// so the soft cap and the pin rung both fail and the controller walks
+// the full ladder to offline — at which point the group draws nothing
+// and the cap converges. The whole descent is visible as obs spans.
+func TestClosedLoopEscalatesUnderActuatorFailure(t *testing.T) {
+	cfg := demoFleet()
+	cfg.Faults = func(i int) *faults.Plan {
+		if i < 4 {
+			return &faults.Plan{Actuator: faults.ActuatorPlan{FailProb: 1}, Seed: int64(i + 1)}
+		}
+		return nil
+	}
+	flight := obs.NewFlightRecorder(128)
+	tracer := obs.NewTracer(obs.Config{SampleRate: 1})
+	tr := tracer.Start("fleet-intents", "", flight)
+	ctl, err := New(Config{
+		Capability:     CapabilityOf(cfg),
+		ConvergeEpochs: 2,
+		DeadlineEpochs: 3,
+		Trace:          tr,
+		Flight:         flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Kind: KindCap, Level: 1, Group: 0, Watts: 40, DeadlineEpochs: 3}
+	if _, _, r := ctl.Submit(spec); r != nil {
+		t.Fatal(r)
+	}
+	cfg.Control = ctl
+	if _, err := cluster.RunFleet(cfg); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := ctl.Get(spec.ID())
+	if st.Phase != PhaseOffline || st.Escalations != 2 {
+		t.Fatalf("ladder did not complete: %+v\nevents:\n%s", st, strings.Join(ctl.Events(), "\n"))
+	}
+	if st.State != StateConverged {
+		t.Fatalf("cap never converged after offlining: %+v", st)
+	}
+	if st.ObservedW != 0 || st.ObservedActive != 0 {
+		t.Errorf("offlined group still observed: %+v", st)
+	}
+	events := strings.Join(ctl.Events(), "\n")
+	for _, want := range []string{"to=pin", "to=offline", "converge"} {
+		if !strings.Contains(events, want) {
+			t.Errorf("events missing %q:\n%s", want, events)
+		}
+	}
+	spans, _, ok := tracer.Spans(tr.ID)
+	if !ok {
+		t.Fatal("trace not sampled")
+	}
+	escalations := 0
+	for _, sp := range spans {
+		if sp.Name == "intent-escalate" {
+			escalations++
+		}
+	}
+	if escalations != 2 {
+		t.Errorf("%d intent-escalate spans, want 2", escalations)
+	}
+}

@@ -1,0 +1,198 @@
+// Package intent is the declarative fleet-orchestration layer above
+// the hierarchical allocator: clients declare what the fleet should
+// look like — power caps on node groups, drains, minimum-performance
+// floors, priority weights — and a controller reconciles the admitted
+// intent set against a running cluster.RunFleet through the
+// control-plane seam (cluster.FleetControl), observing convergence
+// from epoch telemetry.
+//
+// The design follows the Device Management Resource Manager shape:
+// intents are admitted against the fleet's aggregate capability and
+// infeasible ones are rejected with a machine-readable reason;
+// enforcement is ordered, soft commands first (governor/water-fill
+// retuning), hard commands (forced p-state pins, node offlining) only
+// after a configurable non-convergence deadline, with every
+// transition recorded as an obs span and flight-recorder event.
+package intent
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"aapm/internal/cluster"
+)
+
+// Kind names an intent's verb.
+type Kind string
+
+const (
+	// KindCap bounds a group's epoch-average power.
+	KindCap Kind = "cap"
+	// KindDrain removes a node (level 0) or group (level >= 1) from
+	// service: its work coasts down and its share is released.
+	KindDrain Kind = "drain"
+	// KindFloor guarantees a group a minimum budget share.
+	KindFloor Kind = "floor"
+	// KindPrefer scales a group's claim on contended headroom.
+	KindPrefer Kind = "prefer"
+)
+
+// Spec is one client-declared intent, the POST /api/intents body.
+// Specs are content-addressed: the ID is a hash of the canonical
+// field encoding, so resubmitting an identical spec is idempotent.
+type Spec struct {
+	Kind Kind `json:"kind"`
+	// Level addresses the target in the allocation tree: 0 is a
+	// single leaf (drains only), 1..levels-1 an interior group.
+	Level int `json:"level"`
+	// Group is the group (or node, at level 0) index at that level.
+	Group int `json:"group"`
+	// Watts is the cap or floor target; unused for drain/prefer.
+	Watts float64 `json:"watts,omitempty"`
+	// Weight is the prefer priority: >1 bids harder for contended
+	// headroom, <1 yields it. Unused for other kinds.
+	Weight float64 `json:"weight,omitempty"`
+	// DeadlineEpochs overrides the controller's escalation deadline
+	// for this intent (0 = controller default).
+	DeadlineEpochs int `json:"deadline_epochs,omitempty"`
+}
+
+// ID is the content-addressed intent identity: "n" plus the first 16
+// hex digits of the canonical encoding's SHA-256.
+func (s Spec) ID() string {
+	sum := sha256.Sum256(s.canonical())
+	return "n" + hex.EncodeToString(sum[:8])
+}
+
+// canonical is the byte encoding the ID hashes: fixed field order,
+// fixed float formatting, no dependence on JSON key ordering.
+func (s Spec) canonical() []byte {
+	return fmt.Appendf(nil, "intent|%s|%d|%d|%g|%g|%d",
+		s.Kind, s.Level, s.Group, s.Watts, s.Weight, s.DeadlineEpochs)
+}
+
+// Reason is a machine-readable rejection: Code is stable and
+// comparable, Detail names the offending constraint.
+type Reason struct {
+	Code   string `json:"code"`
+	Detail string `json:"detail"`
+}
+
+func (r *Reason) Error() string { return r.Code + ": " + r.Detail }
+
+func reasonf(code, format string, args ...any) *Reason {
+	return &Reason{Code: code, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Rejection reason codes.
+const (
+	// ReasonBadSpec covers malformed specs: unknown kind, level or
+	// group out of range, non-positive watts/weight.
+	ReasonBadSpec = "bad-spec"
+	// ReasonCapBelowFloor rejects a cap below the target subtree's
+	// guaranteed minimum (sum of node floors, group minima and floor
+	// intents).
+	ReasonCapBelowFloor = "cap-below-floor"
+	// ReasonFloorExceedsCap rejects a floor that cannot fit under a
+	// cap on the group or an ancestor, or past the subtree's
+	// achievable power.
+	ReasonFloorExceedsCap = "floor-exceeds-cap"
+	// ReasonFloorsExceedBudget rejects a floor whose admission would
+	// push the fleet's total guaranteed minima past the root budget.
+	ReasonFloorsExceedBudget = "floors-exceed-budget"
+	// ReasonDrainStrandsFloor rejects a drain that would leave an
+	// admitted floor (or other guarantee) unsatisfiable.
+	ReasonDrainStrandsFloor = "drain-strands-floor"
+	// ReasonDrainNoCapacity rejects a drain that would leave the
+	// fleet with no serving capacity at all.
+	ReasonDrainNoCapacity = "drain-no-capacity"
+)
+
+// Phase is the escalation rung enforcement currently sits on,
+// PowerCommandPolicy-ordered: soft first, hard only after the
+// non-convergence deadline.
+type Phase string
+
+const (
+	// PhaseSoft retunes governor specs through the water-fill: group
+	// caps, floors and weights.
+	PhaseSoft Phase = "soft"
+	// PhasePin force-pins the subtree's nodes to the bottom p-state
+	// (hard cap enforcement).
+	PhasePin Phase = "pin"
+	// PhaseOffline forces the subtree's nodes out of service (final
+	// rung for caps, hard rung for drains).
+	PhaseOffline Phase = "offline"
+)
+
+// State is the reconcile state reported on /api/intents/{id}/status.
+type State string
+
+const (
+	// StateConverging means the intent is admitted and enforced but
+	// the fleet has not yet been observed satisfying it for
+	// ConvergeEpochs consecutive epochs.
+	StateConverging State = "converging"
+	// StateConverged means the convergence predicate has held for
+	// ConvergeEpochs consecutive epochs (and still holds).
+	StateConverged State = "converged"
+)
+
+// Status is an intent's externally visible reconcile state.
+type Status struct {
+	ID    string `json:"id"`
+	Spec  Spec   `json:"spec"`
+	State State  `json:"state"`
+	Phase Phase  `json:"phase"`
+	// Epochs counts reconcile epochs observed since admission;
+	// OKEpochs the current consecutive run satisfying the predicate.
+	Epochs   int `json:"epochs"`
+	OKEpochs int `json:"ok_epochs"`
+	// ConvergedEpochs is how many epochs admission→first convergence
+	// took (0 until converged once).
+	ConvergedEpochs int `json:"converged_epochs,omitempty"`
+	// Escalations counts phase transitions taken so far.
+	Escalations int `json:"escalations"`
+	// ObservedW is the target subtree's last epoch-average power;
+	// ObservedActive its in-service leaf count; TargetW echoes the
+	// cap/floor target.
+	ObservedW      float64 `json:"observed_w"`
+	ObservedActive int     `json:"observed_active"`
+	TargetW        float64 `json:"target_w,omitempty"`
+}
+
+// validate checks spec shape against the fleet tree (feasibility is
+// admission's job).
+func (s Spec) validate(shape cluster.TreeShape) *Reason {
+	switch s.Kind {
+	case KindCap, KindFloor:
+		if !(s.Watts > 0) || math.IsInf(s.Watts, 0) {
+			return reasonf(ReasonBadSpec, "%s needs watts > 0 (got %g)", s.Kind, s.Watts)
+		}
+		if s.Level < 1 || s.Level >= shape.Levels() {
+			return reasonf(ReasonBadSpec, "%s level %d outside interior levels [1, %d]", s.Kind, s.Level, shape.Levels()-1)
+		}
+	case KindPrefer:
+		if !(s.Weight > 0) || s.Weight > 64 {
+			return reasonf(ReasonBadSpec, "prefer needs weight in (0, 64] (got %g)", s.Weight)
+		}
+		if s.Level < 1 || s.Level >= shape.Levels() {
+			return reasonf(ReasonBadSpec, "prefer level %d outside interior levels [1, %d]", s.Level, shape.Levels()-1)
+		}
+	case KindDrain:
+		if s.Level < 0 || s.Level >= shape.Levels() {
+			return reasonf(ReasonBadSpec, "drain level %d outside [0, %d]", s.Level, shape.Levels()-1)
+		}
+	default:
+		return reasonf(ReasonBadSpec, "unknown kind %q", s.Kind)
+	}
+	if s.Group < 0 || s.Group >= shape.Groups(s.Level) {
+		return reasonf(ReasonBadSpec, "level %d has %d groups, group %d out of range", s.Level, shape.Groups(s.Level), s.Group)
+	}
+	if s.DeadlineEpochs < 0 {
+		return reasonf(ReasonBadSpec, "negative deadline_epochs %d", s.DeadlineEpochs)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aapm/internal/cluster"
+	"aapm/internal/intent"
+	"aapm/internal/obs"
+	"aapm/internal/sensor"
+	"aapm/internal/telemetry"
+)
+
+// FleetOptions describes the service's resident fleet: a synthetic
+// hierarchical simulation the intent API reconciles against. The
+// workloads are finite, so the host runs the fleet in back-to-back
+// generations — the intent controller persists across them, and its
+// reconcile epochs keep counting.
+type FleetOptions struct {
+	// Nodes is the leaf count (required, > 0 enables the fleet).
+	Nodes int
+	// Levels/Fanout shape the allocation tree (0 → 2 levels, fanout 8).
+	Levels int
+	Fanout int
+	// BudgetW is the root power budget (0 → 12 W x Nodes); FloorW the
+	// per-node minimum share (0 → the coordinator's 4 W default).
+	BudgetW float64
+	FloorW  float64
+	// Seed fixes each generation's simulation seed (0 → 1).
+	Seed int64
+	// EpochTicks is the reallocation period (0 → 10, frequent enough
+	// that intents converge within seconds of wall clock).
+	EpochTicks int
+	// GenerationTicks sizes each generation's synthetic workloads
+	// (0 → 400 ticks).
+	GenerationTicks int
+	// Workers caps the fleet's stepping pool (0 → 2: the resident
+	// fleet must not starve the job workers).
+	Workers int
+	// ConvergeEpochs/DeadlineEpochs configure the intent controller
+	// (0 → its defaults: 2 consecutive epochs, 8-epoch deadline).
+	ConvergeEpochs int
+	DeadlineEpochs int
+	// GenerationGap is the pause between generations (0 → 50 ms).
+	GenerationGap time.Duration
+}
+
+func (o FleetOptions) withDefaults() FleetOptions {
+	if o.Levels <= 0 {
+		o.Levels = 2
+	}
+	if o.Fanout <= 0 {
+		o.Fanout = 8
+	}
+	if o.BudgetW <= 0 {
+		o.BudgetW = 12 * float64(o.Nodes)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.EpochTicks <= 0 {
+		o.EpochTicks = 10
+	}
+	if o.GenerationTicks <= 0 {
+		o.GenerationTicks = 400
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.GenerationGap <= 0 {
+		o.GenerationGap = 50 * time.Millisecond
+	}
+	return o
+}
+
+// fleetConfig builds one generation's run config.
+func (o FleetOptions) fleetConfig(reg *telemetry.Registry) cluster.FleetConfig {
+	return cluster.FleetConfig{
+		BudgetW:    o.BudgetW,
+		FloorW:     o.FloorW,
+		Nodes:      cluster.SyntheticFleet(o.Nodes, o.GenerationTicks),
+		Seed:       o.Seed,
+		Chain:      sensor.NIDefault(),
+		Workers:    o.Workers,
+		Levels:     o.Levels,
+		Fanout:     o.Fanout,
+		EpochTicks: o.EpochTicks,
+		Telemetry:  reg,
+	}
+}
+
+// fleetHost runs the resident fleet: a restart loop over finite
+// generations with the intent controller as the control plane.
+type fleetHost struct {
+	opts FleetOptions
+	ctl  *intent.Controller
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	generations atomic.Int64
+
+	mu      sync.Mutex
+	lastErr string
+}
+
+// newFleetHost validates the options, builds the intent controller
+// and starts the generation loop. The telemetry registry is shared
+// with the service; family registration is idempotent, so each
+// generation re-registering the fleet series is safe.
+func newFleetHost(opts FleetOptions, reg *telemetry.Registry, tr *obs.Trace, fl *obs.FlightRecorder) (*fleetHost, error) {
+	opts = opts.withDefaults()
+	cfg := opts.fleetConfig(reg)
+	ctl, err := intent.New(intent.Config{
+		Capability:     intent.CapabilityOf(cfg),
+		ConvergeEpochs: opts.ConvergeEpochs,
+		DeadlineEpochs: opts.DeadlineEpochs,
+		Trace:          tr,
+		Flight:         fl,
+		Telemetry:      reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// One dry validation pass before the loop: a config the coordinator
+	// rejects should fail service construction, not retry forever.
+	probe := cfg
+	probe.Nodes = cluster.SyntheticFleet(opts.Nodes, 1)
+	probe.Telemetry = nil
+	probe.EpochTicks = 1 << 20 // no reallocation during the probe
+	if _, err := cluster.RunFleet(probe); err != nil {
+		return nil, err
+	}
+	h := &fleetHost{opts: opts, ctl: ctl, done: make(chan struct{})}
+	h.ctx, h.cancel = context.WithCancel(context.Background())
+	go h.loop(reg)
+	return h, nil
+}
+
+func (h *fleetHost) loop(reg *telemetry.Registry) {
+	defer close(h.done)
+	gauge := reg.Gauge("aapm_fleet_generations", "Resident-fleet generations completed.").With()
+	for h.ctx.Err() == nil {
+		cfg := h.opts.fleetConfig(reg)
+		cfg.Control = h.ctl
+		_, err := cluster.RunFleetContext(h.ctx, cfg)
+		h.mu.Lock()
+		if err != nil && h.ctx.Err() == nil {
+			h.lastErr = err.Error()
+		} else if err == nil {
+			h.lastErr = ""
+		}
+		h.mu.Unlock()
+		if err == nil {
+			gauge.Set(float64(h.generations.Add(1)))
+		}
+		select {
+		case <-h.ctx.Done():
+		case <-time.After(h.opts.GenerationGap):
+		}
+	}
+}
+
+// stop cancels the generation loop and waits for it to exit.
+func (h *fleetHost) stop() {
+	h.cancel()
+	<-h.done
+}
+
+// info summarizes the host for the intents listing.
+func (h *fleetHost) info() map[string]any {
+	h.mu.Lock()
+	lastErr := h.lastErr
+	h.mu.Unlock()
+	m := map[string]any{
+		"nodes":       h.opts.Nodes,
+		"levels":      h.opts.Levels,
+		"fanout":      h.opts.Fanout,
+		"budget_w":    h.opts.BudgetW,
+		"epoch_ticks": h.opts.EpochTicks,
+		"generations": h.generations.Load(),
+	}
+	if lastErr != "" {
+		m["last_error"] = lastErr
+	}
+	return m
+}

@@ -23,6 +23,14 @@ import (
 //	GET    /api/trace/{jobID}     recorded spans (?format=perfetto for a
 //	                              Chrome trace-event rendering)
 //	GET    /api/slo               SLO objective burn-rate status
+//	POST   /api/intents           declare an intent against the resident
+//	                              fleet (201 created, 200 idempotent
+//	                              resubmission, 422 + structured reason
+//	                              when infeasible, 503 without a fleet)
+//	GET    /api/intents           fleet summary + every intent's status
+//	GET    /api/intents/{id}         one intent's reconcile status
+//	GET    /api/intents/{id}/status  alias for polling convergence
+//	DELETE /api/intents/{id}      withdraw an intent
 //	GET    /healthz               200 healthy / 503 + breach reasons
 //
 // Mount it alongside the dash handler and /metrics on one mux (see
@@ -33,6 +41,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/api/jobs/", s.handleJob)
 	mux.HandleFunc("/api/trace/", s.handleTrace)
 	mux.HandleFunc("/api/slo", s.handleSLO)
+	mux.HandleFunc("/api/intents", s.handleIntents)
+	mux.HandleFunc("/api/intents/", s.handleIntent)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }

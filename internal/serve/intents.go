@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"aapm/internal/intent"
+)
+
+// handleIntents serves the intent collection: declarative submission
+// and listing against the resident fleet.
+func (s *Service) handleIntents(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		msg := "no resident fleet: start the service with fleet options to use intents"
+		if s.fleetErr != "" {
+			msg = "resident fleet failed to start: " + s.fleetErr
+		}
+		httpError(w, http.StatusServiceUnavailable, msg)
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		s.handleIntentSubmit(w, r)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"fleet":   s.fleet.info(),
+			"intents": s.fleet.ctl.List(),
+		})
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		httpError(w, http.StatusMethodNotAllowed, "method not allowed")
+	}
+}
+
+func (s *Service) handleIntentSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec intent.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad intent spec: "+err.Error())
+		return
+	}
+	st, created, reason := s.fleet.ctl.Submit(spec)
+	if reason != nil {
+		// Admission failure is a semantic rejection of a well-formed
+		// request: 422, with the machine-readable reason alongside the
+		// human-readable error.
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":  reason.Error(),
+			"reason": reason,
+		})
+		return
+	}
+	code := http.StatusOK // idempotent resubmission
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, st)
+}
+
+// handleIntent routes /api/intents/{id}[/status].
+func (s *Service) handleIntent(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		msg := "no resident fleet: start the service with fleet options to use intents"
+		if s.fleetErr != "" {
+			msg = "resident fleet failed to start: " + s.fleetErr
+		}
+		httpError(w, http.StatusServiceUnavailable, msg)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/api/intents/")
+	id, sub, _ := strings.Cut(rest, "/")
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			s.writeIntentStatus(w, id)
+		case http.MethodDelete:
+			if !s.fleet.ctl.Delete(id) {
+				httpError(w, http.StatusNotFound, "unknown intent")
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+		default:
+			w.Header().Set("Allow", "GET, DELETE")
+			httpError(w, http.StatusMethodNotAllowed, "method not allowed")
+		}
+	case "status":
+		if !requireGet(w, r) {
+			return
+		}
+		s.writeIntentStatus(w, id)
+	default:
+		httpError(w, http.StatusNotFound, "unknown intent subresource")
+	}
+}
+
+func (s *Service) writeIntentStatus(w http.ResponseWriter, id string) {
+	st, ok := s.fleet.ctl.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown intent")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aapm/internal/intent"
+)
+
+// newFleetService starts a service hosting a small resident fleet.
+func newFleetService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(Config{
+		Workers: 1,
+		Fleet: &FleetOptions{
+			Nodes:           8,
+			Levels:          2,
+			Fanout:          4,
+			EpochTicks:      5,
+			GenerationTicks: 100,
+			GenerationGap:   5 * time.Millisecond,
+		},
+	})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	if s.fleet == nil {
+		t.Fatalf("fleet host missing: %s", s.fleetErr)
+	}
+	return s, srv
+}
+
+func postIntent(t *testing.T, srv *httptest.Server, body string) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/api/intents", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp, m
+}
+
+// TestIntentAPIEndToEnd drives the full REST surface against a live
+// resident fleet: declare a cap, watch it converge, bounce an
+// infeasible floor with a structured 422, exercise idempotent
+// resubmission and deletion.
+func TestIntentAPIEndToEnd(t *testing.T) {
+	_, srv := newFleetService(t)
+
+	// Declare a binding cap on group 0 (4 nodes drawing ~55 W when
+	// unconstrained under the default 96 W budget).
+	resp, _ := postIntent(t, srv, `{"kind":"cap","level":1,"group":0,"watts":30}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST intent = %d, want 201", resp.StatusCode)
+	}
+	id := intent.Spec{Kind: intent.KindCap, Level: 1, Group: 0, Watts: 30}.ID()
+
+	// Resubmission of the identical spec is an idempotent 200.
+	resp, _ = postIntent(t, srv, `{"kind":"cap","level":1,"group":0,"watts":30}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("idempotent POST = %d, want 200", resp.StatusCode)
+	}
+
+	// Poll status until the reconcile loop reports convergence.
+	deadline := time.Now().Add(15 * time.Second)
+	var st intent.Status
+	for {
+		r, err := http.Get(srv.URL + "/api/intents/" + id + "/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET status = %d", r.StatusCode)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if st.State == intent.StateConverged {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("intent never converged: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.ObservedW > 30+1e-9 {
+		t.Errorf("converged at %.2f W over the 30 W cap", st.ObservedW)
+	}
+	if st.Phase != intent.PhaseSoft {
+		t.Errorf("soft enforcement sufficed but phase = %s", st.Phase)
+	}
+
+	// Infeasible intent: a floor past the subtree's achievable power
+	// answers 422 with a machine-readable reason.
+	resp, m := postIntent(t, srv, `{"kind":"floor","level":1,"group":1,"watts":500}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible POST = %d, want 422", resp.StatusCode)
+	}
+	var reason intent.Reason
+	if err := json.Unmarshal(m["reason"], &reason); err != nil {
+		t.Fatalf("422 without structured reason: %v (%s)", err, m)
+	}
+	if reason.Code != intent.ReasonFloorExceedsCap || reason.Detail == "" {
+		t.Errorf("reason %+v", reason)
+	}
+
+	// Malformed specs are 4xx too: bad JSON 400, bad shape 422.
+	resp, _ = postIntent(t, srv, `{"kind":"boost","level":1,"group":0}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown kind = %d, want 422", resp.StatusCode)
+	}
+
+	// Listing shows the fleet summary and the admitted intent.
+	r, err := http.Get(srv.URL + "/api/intents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Fleet   map[string]any  `json:"fleet"`
+		Intents []intent.Status `json:"intents"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(listing.Intents) != 1 || listing.Intents[0].ID != id {
+		t.Fatalf("listing %+v", listing.Intents)
+	}
+	if listing.Fleet["nodes"] != float64(8) {
+		t.Errorf("fleet info %+v", listing.Fleet)
+	}
+
+	// Withdraw the intent; a second delete 404s.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/api/intents/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", dresp.StatusCode)
+	}
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE = %d, want 404", dresp.StatusCode)
+	}
+}
+
+// TestIntentAPIWithoutFleet pins the 503 contract when the service
+// hosts no fleet.
+func TestIntentAPIWithoutFleet(t *testing.T) {
+	s := New(Config{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	for _, path := range []string{"/api/intents", "/api/intents/nabc"} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s = %d, want 503", path, r.StatusCode)
+		}
+	}
+}
+
+// TestFleetHostInvalidConfig pins the degraded mode: a fleet config
+// the coordinator rejects leaves the service serving jobs, with the
+// intent endpoints naming the failure.
+func TestFleetHostInvalidConfig(t *testing.T) {
+	s := New(Config{
+		Workers: 1,
+		// Budget below the floor guarantee: the coordinator rejects it.
+		Fleet: &FleetOptions{Nodes: 8, BudgetW: 1},
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	if s.fleet != nil || s.fleetErr == "" {
+		t.Fatalf("fleet host %v, err %q", s.fleet, s.fleetErr)
+	}
+	r, err := http.Get(srv.URL + "/api/intents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET = %d, want 503", r.StatusCode)
+	}
+	var m map[string]string
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m["error"], "failed to start") {
+		t.Errorf("503 body %+v does not name the failure", m)
+	}
+}

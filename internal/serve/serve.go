@@ -133,6 +133,12 @@ type Config struct {
 	// burn-rate engine behind /api/slo and /healthz.
 	SLOObjectives []obs.Objective
 
+	// Fleet, when non-nil, hosts a resident synthetic fleet the intent
+	// API (/api/intents) reconciles against. An invalid fleet config
+	// leaves the service running without a fleet; the intent endpoints
+	// answer 503 naming the error.
+	Fleet *FleetOptions
+
 	// beforeRun, when non-nil, runs in the worker goroutine after a
 	// job turns running and before it executes — a seam for tests in
 	// this package to hold workers at a known point. Unexported on
@@ -177,6 +183,11 @@ type Service struct {
 	limiter *tenantLimiter
 	tracer  *obs.Tracer
 	slo     *obs.Engine
+
+	// fleet is the resident intent-reconciled fleet (nil when not
+	// configured, or when its construction failed — see fleetErr).
+	fleet    *fleetHost
+	fleetErr string
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -226,6 +237,16 @@ func New(cfg Config) *Service {
 		func(n int) { tel.queueDepth.Set(float64(n)) },
 		tel.setTenantDepth)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if cfg.Fleet != nil {
+		fl := obs.NewFlightRecorder(cfg.FlightEvents)
+		tr := s.tracer.Start("fleet-intents", "", fl)
+		host, err := newFleetHost(*cfg.Fleet, reg, tr, fl)
+		if err != nil {
+			s.fleetErr = err.Error()
+		} else {
+			s.fleet = host
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -643,6 +664,9 @@ func (s *Service) dumpFlight(j *Job, fl *obs.FlightRecorder, to State) {
 // workers to observe it, returning ctx's error.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.closed.Store(true)
+	if s.fleet != nil {
+		s.fleet.stop()
+	}
 	for _, j := range s.q.close() {
 		j.mu.Lock()
 		if j.state != StateQueued {
